@@ -1,0 +1,63 @@
+"""Ablation: one PE per child vs spreading a genome across PEs.
+
+Footnote 2 of the paper motivates the shipped 1-PE-per-child dataflow;
+this bench quantifies the alternative on a real recorded workload:
+per-child latency improves with splitting, but Gene Merge reordering and
+wave multiplication erode generation throughput.
+"""
+
+import pytest
+
+from bench_fig11_design_space import eve_replay_workload
+from repro.analysis.reporting import render_table
+from repro.hw.gene_encoding import encode_genome
+from repro.hw.split_dataflow import sweep_pes_per_child
+
+
+def test_ablation_split_dataflow(benchmark, emit):
+    config, population, plan = eve_replay_workload()
+    # stream length per child = the fitter parent's gene count
+    lengths = []
+    for event in plan.events:
+        parent = population[event.parent1_key]
+        other = population[event.parent2_key]
+        fitter = parent if (parent.fitness or 0) >= (other.fitness or 0) else other
+        lengths.append(len(encode_genome(fitter, config.genome)))
+
+    # Two regimes: PEs scarce (fewer slots than children -> waves matter)
+    # and PEs abundant (splitting can only help latency).
+    scarce_pes = max(2, len(lengths) // 2)
+    regimes = {
+        f"scarce ({scarce_pes} PEs)": sweep_pes_per_child(
+            lengths, num_pes=scarce_pes, k_values=(1, 2, 4)
+        ),
+        "abundant (64 PEs)": sweep_pes_per_child(
+            lengths, num_pes=64, k_values=(1, 2, 4)
+        ),
+    }
+    for label, estimates in regimes.items():
+        rows = [
+            [est.pes_per_child, est.child_latency_cycles,
+             est.merge_overhead_cycles, est.waves, est.generation_cycles]
+            for est in estimates
+        ]
+        emit(render_table(
+            ["PEs/child", "child latency (cyc)", "merge overhead (cyc)",
+             "waves", "generation (cyc)"],
+            rows,
+            title=f"Ablation: genome-split dataflow — {label}",
+        ))
+
+    for estimates in regimes.values():
+        latencies = [e.child_latency_cycles for e in estimates]
+        assert latencies == sorted(latencies, reverse=True)
+        assert estimates[0].merge_overhead_cycles == 0
+        assert all(e.merge_overhead_cycles > 0 for e in estimates[1:])
+    # When PEs are scarce, 1 PE per child maximises generation throughput
+    # — the paper's design choice.
+    scarce = regimes[f"scarce ({scarce_pes} PEs)"]
+    assert scarce[0].generation_cycles == min(
+        e.generation_cycles for e in scarce
+    )
+
+    benchmark(lambda: sweep_pes_per_child(lengths, num_pes=scarce_pes))

@@ -1,0 +1,164 @@
+"""Fig. 11 — gene composition, NoC ablation, and the EvE PE sweep.
+
+(a) node vs connection gene composition per workload,
+(b) SRAM reads/cycle: point-to-point bus vs multicast tree,
+(c) SRAM energy and runtime per generation as a function of EvE PEs
+    (with the ADAM inference runtime for comparison).
+
+(b) and (c) replay a *real* recorded reproduction plan through the
+cycle-level EvE model, exactly the paper's trace-driven methodology.
+"""
+
+import pytest
+
+from conftest import get_trace
+from repro.analysis.reporting import render_table
+from repro.core.runner import config_for_env
+from repro.envs.evaluate import FitnessEvaluator
+from repro.envs.registry import ATARI_SUITE, CLASSIC_SUITE
+from repro.hw.adam import ADAM, build_inference_plan
+from repro.hw.energy import SRAM_ACCESS_ENERGY_PJ
+from repro.hw.eve import EvEConfig, EvolutionEngine
+from repro.hw.gene_encoding import encode_genome
+from repro.hw.sram import GenomeBuffer
+from repro.neat.population import Population
+
+PE_SWEEP = [2, 4, 8, 16, 32, 64]
+
+_WORKLOAD_CACHE = {}
+
+
+def eve_replay_workload(env_id="Alien-ram-v0", pop_size=16, warm_generations=1,
+                        seed=0, max_steps=40):
+    """An evaluated population + reproduction plan ready for EvE replay."""
+    key = (env_id, pop_size, warm_generations, seed)
+    if key in _WORKLOAD_CACHE:
+        return _WORKLOAD_CACHE[key]
+    config = config_for_env(env_id, pop_size=pop_size)
+    population = Population(config, seed=seed)
+    evaluator = FitnessEvaluator(env_id, max_steps=max_steps, seed=seed)
+    for _ in range(warm_generations):
+        population.run_generation(evaluator)
+    genomes = list(population.population.values())
+    evaluator(genomes, config)
+    population.species_set.adjust_fitnesses(population.generation)
+    plan = population.reproduction.plan_generation(
+        population.species_set, population.generation, population.rng
+    )
+    _WORKLOAD_CACHE[key] = (config, population.population, plan)
+    return _WORKLOAD_CACHE[key]
+
+
+def fresh_buffer(config, population):
+    buffer = GenomeBuffer()
+    for gkey, genome in population.items():
+        buffer.write_genome(gkey, encode_genome(genome, config.genome))
+        buffer.set_fitness(gkey, genome.fitness)
+    return buffer
+
+
+def test_fig11a_gene_composition(benchmark, emit):
+    rows = []
+    for env_id in CLASSIC_SUITE + ATARI_SUITE:
+        trace = get_trace(env_id)
+        w = trace.workloads[-1]
+        rows.append([
+            env_id, w.total_nodes, w.total_connections,
+            f"{w.total_connections / max(1, w.total_nodes):.1f}",
+        ])
+    emit(render_table(
+        ["Environment", "node genes", "connection genes", "conns/node"],
+        rows,
+        title="Fig 11(a): gene-type composition per workload",
+    ))
+    # Connection genes dominate in every workload (denser weight matrices
+    # during inference -> higher ADAM utilisation, per the paper).
+    for _env, nodes, conns, _ratio in rows:
+        assert conns > nodes
+
+    benchmark(lambda: get_trace("CartPole-v0").workloads[-1].total_connections)
+
+
+def test_fig11b_noc_ablation(benchmark, emit):
+    config, population, plan = eve_replay_workload()
+    rows = []
+    ratios = []
+    for num_pes in PE_SWEEP:
+        reads_per_cycle = {}
+        for noc in ("p2p", "multicast"):
+            buffer = fresh_buffer(config, population)
+            eve = EvolutionEngine(EvEConfig(num_pes=num_pes, noc=noc, seed=1))
+            result = eve.reproduce_generation(buffer, plan.events, plan.elite_keys)
+            reads_per_cycle[noc] = result.noc_stats.reads_per_cycle
+        ratio = reads_per_cycle["p2p"] / max(1e-9, reads_per_cycle["multicast"])
+        ratios.append((num_pes, ratio))
+        rows.append([
+            num_pes,
+            f"{reads_per_cycle['p2p']:.2f}",
+            f"{reads_per_cycle['multicast']:.2f}",
+            f"{ratio:.1f}x",
+        ])
+    emit(render_table(
+        ["EvE PEs", "P2P reads/cycle", "Multicast reads/cycle", "savings"],
+        rows,
+        title="Fig 11(b): SRAM reads per cycle, point-to-point vs multicast",
+    ))
+    # P2P reads/cycle grow with PE count; multicast savings grow with PE
+    # count (paper: >100x at 256 PEs with population 150; scaled here).
+    assert ratios[-1][1] > ratios[0][1]
+    assert ratios[-1][1] > 3.0
+
+    config2, population2, plan2 = eve_replay_workload("CartPole-v0", pop_size=12)
+
+    def replay():
+        buffer = fresh_buffer(config2, population2)
+        eve = EvolutionEngine(EvEConfig(num_pes=8, noc="multicast", seed=1))
+        return eve.reproduce_generation(buffer, plan2.events, plan2.elite_keys)
+
+    benchmark(replay)
+
+
+def test_fig11c_pe_sweep(benchmark, emit):
+    config, population, plan = eve_replay_workload()
+
+    # ADAM inference runtime for the same generation (constant line).
+    adam = ADAM()
+    steps_per_genome = 40
+    for genome in population.values():
+        inference_plan = build_inference_plan(genome, config.genome)
+        adam.run(inference_plan, [0.0] * config.genome.num_inputs)
+    adam_cycles = adam.stats.total_cycles * steps_per_genome
+
+    rows = []
+    series = []
+    for num_pes in PE_SWEEP:
+        buffer = fresh_buffer(config, population)
+        eve = EvolutionEngine(EvEConfig(num_pes=num_pes, noc="multicast", seed=1))
+        result = eve.reproduce_generation(buffer, plan.events, plan.elite_keys)
+        accesses = result.sram_reads + result.sram_writes
+        energy_uj = accesses * SRAM_ACCESS_ENERGY_PJ * 1e-6
+        series.append((num_pes, result.cycles, energy_uj))
+        rows.append([
+            num_pes, result.cycles, adam_cycles, f"{energy_uj:.2f}",
+        ])
+    emit(render_table(
+        ["EvE PEs", "EvE cycles/gen", "ADAM cycles/gen", "SRAM RD+WR energy (uJ)"],
+        rows,
+        title="Fig 11(c): evolution runtime and SRAM energy vs EvE PE count",
+    ))
+
+    cycles = [c for _n, c, _e in series]
+    energies = [e for _n, _c, e in series]
+    # Evolution runtime falls monotonically with PE count (compute-bound,
+    # "exponential fall off" on the log-x sweep).
+    assert all(a >= b for a, b in zip(cycles, cycles[1:]))
+    assert cycles[0] > 3 * cycles[-1]
+    # SRAM energy improves with PE count thanks to multicast GLR.
+    assert energies[-1] < energies[0]
+
+    def sweep_point():
+        buffer = fresh_buffer(config, population)
+        eve = EvolutionEngine(EvEConfig(num_pes=16, noc="multicast", seed=1))
+        return eve.reproduce_generation(buffer, plan.events, plan.elite_keys)
+
+    benchmark(sweep_point)

@@ -1,0 +1,68 @@
+"""Fig. 8 — GeneSys SoC power (b) and area (c) vs number of EvE PEs.
+
+Regenerated from the analytical 15 nm model calibrated against the
+paper's published implementation points (Fig. 8a table).
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.hw.energy import (
+    PAPER_TOTAL_AREA_MM2,
+    PAPER_TOTAL_POWER_MW,
+    area_breakdown,
+    pe_sweep,
+    roofline_power,
+)
+
+
+def test_fig8b_power_sweep(benchmark, emit):
+    rows = []
+    for entry in pe_sweep():
+        n = entry["num_eve_pe"]
+        power = roofline_power(n)
+        rows.append([
+            n,
+            f"{power.eve_mw:.1f}",
+            f"{power.sram_mw:.1f}",
+            f"{power.adam_mw:.1f}",
+            f"{power.m0_mw:.1f}",
+            f"{power.total_mw:.1f}",
+        ])
+    emit(render_table(
+        ["EvE PEs", "EvE mW", "SRAM mW", "ADAM mW", "M0 mW", "Net mW"],
+        rows,
+        title="Fig 8(b): roofline power vs EvE PE count",
+    ))
+    # Paper's design point: 947.5 mW at 256 PEs, "comfortably under 1W".
+    at_256 = roofline_power(256).total_mw
+    assert at_256 == pytest.approx(PAPER_TOTAL_POWER_MW, rel=0.005)
+    assert at_256 < 1000.0
+
+    benchmark(pe_sweep)
+
+
+def test_fig8c_area_sweep(benchmark, emit):
+    rows = []
+    for entry in pe_sweep():
+        n = entry["num_eve_pe"]
+        area = area_breakdown(n)
+        rows.append([
+            n,
+            f"{area.eve_mm2:.3f}",
+            f"{area.sram_mm2:.3f}",
+            f"{area.adam_mm2:.3f}",
+            f"{area.m0_mm2:.3f}",
+            f"{area.total_mm2:.3f}",
+        ])
+    emit(render_table(
+        ["EvE PEs", "EvE mm2", "SRAM mm2", "ADAM mm2", "M0 mm2", "Total mm2"],
+        rows,
+        title="Fig 8(c): area footprint vs EvE PE count",
+    ))
+    at_256 = area_breakdown(256)
+    assert at_256.eve_mm2 == pytest.approx(0.89, abs=0.01)   # paper: 0.89 mm^2
+    assert at_256.adam_mm2 == pytest.approx(0.25, abs=0.01)  # paper: 0.25 mm^2
+    assert at_256.total_mm2 == pytest.approx(PAPER_TOTAL_AREA_MM2, rel=0.01)
+
+    benchmark(lambda: [area_breakdown(n) for n in (2, 64, 512)])

@@ -1,0 +1,67 @@
+"""Table I — the OpenAI-gym environment suite.
+
+Regenerates the environment/observation/action rows of Table I from the
+implemented substrate, and benchmarks raw environment step throughput.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.envs import CANONICAL_IDS, make
+from repro.envs.spaces import Box, Discrete
+
+
+def describe_space(space):
+    if isinstance(space, Discrete):
+        return f"1 integer < {space.n}"
+    if isinstance(space, Box):
+        return f"{space.flat_dim} floats"
+    return repr(space)
+
+
+def test_table1_rows(benchmark, emit):
+    rows = []
+    for env_id in CANONICAL_IDS:
+        env = make(env_id, seed=0)
+        rows.append(
+            [env_id, describe_space(env.observation_space),
+             describe_space(env.action_space), env.max_episode_steps]
+        )
+    emit(render_table(
+        ["Environment", "Observation", "Action", "Step limit"],
+        rows,
+        title="Table I: environment suite (reproduced)",
+    ))
+
+    env = make("CartPole-v0", seed=0)
+
+    def run_steps():
+        env.reset()
+        for _ in range(100):
+            _obs, _r, done, _i = env.step(0)
+            if done:
+                env.reset()
+
+    benchmark(run_steps)
+
+
+def test_table1_spaces_match_paper(benchmark, emit):
+    """The paper's stated dimensions for every Table I row."""
+    expected = {
+        "Acrobot-v1": (6, 3),
+        "BipedalWalker-v2": (24, 4),
+        "CartPole-v0": (4, 2),
+        "MountainCar-v0": (2, 3),
+        "LunarLander-v2": (8, 4),
+        "AirRaid-ram-v0": (128, 6),
+        "Alien-ram-v0": (128, 6),
+        "Asterix-ram-v0": (128, 6),
+        "Amidar-ram-v0": (128, 6),
+    }
+    mismatches = []
+    for env_id, (obs, act) in expected.items():
+        env = make(env_id)
+        if (env.num_observations, env.num_actions) != (obs, act):
+            mismatches.append(env_id)
+    assert not mismatches
+    benchmark(lambda: [make(env_id) for env_id in expected])

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  Workload
+traces are recorded once per session at a laptop-friendly scale (the
+paper uses population 150 and 100 runs; we default to population 20-30
+and a handful of generations — the shapes the paper reports are already
+stable there, and EXPERIMENTS.md records the scale used).
+
+The ``emit`` fixture prints through pytest's capture so the regenerated
+rows/series appear in the benchmark log.
+"""
+
+import pytest
+
+from repro.analysis.characterization import record_workload
+from repro.core.trace import WorkloadTrace
+from repro.envs.registry import EVALUATION_SUITE
+
+BENCH_POP = 20
+BENCH_GENERATIONS = 3
+BENCH_MAX_STEPS = 60
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print results through pytest's output capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}")
+
+    return _emit
+
+
+_TRACE_CACHE = {}
+
+
+def get_trace(env_id: str, pop_size: int = BENCH_POP,
+              generations: int = BENCH_GENERATIONS,
+              max_steps: int = BENCH_MAX_STEPS, seed: int = 0) -> WorkloadTrace:
+    key = (env_id, pop_size, generations, max_steps, seed)
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = record_workload(
+            env_id, generations=generations, pop_size=pop_size,
+            max_steps=max_steps, seed=seed,
+        )
+    return _TRACE_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def evaluation_traces():
+    """Recorded workload traces for the paper's six evaluation envs."""
+    return {env_id: get_trace(env_id) for env_id in EVALUATION_SUITE}

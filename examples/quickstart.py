@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: evolve a CartPole controller, in software and on GeneSys.
+
+Runs the same NEAT problem twice:
+
+1. pure software (the paper's CPU baseline path), and
+2. hardware-in-the-loop — reproduction executed by the EvE PE model on
+   packed 64-bit genes, inference by the ADAM systolic-array model —
+
+then prints what the hardware did: cycles, energy, SRAM traffic.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro.analysis.reporting import fmt_joules, fmt_seconds, render_table
+from repro.core import evolve_on_hardware, evolve_software
+
+
+def main() -> None:
+    print("=== GeneSys quickstart: CartPole-v0 ===\n")
+
+    print("[1/2] software NEAT (neat-python-style baseline) ...")
+    sw = evolve_software(
+        "CartPole-v0", max_generations=25, pop_size=60, episodes=2, seed=0
+    )
+    print(
+        f"  converged={sw.converged} after {sw.generations} generations; "
+        f"best fitness {sw.best_genome.fitness:.1f}; "
+        f"champion size {sw.best_genome.size()} (enabled conns, nodes)\n"
+    )
+
+    print("[2/2] hardware-in-the-loop (EvE + ADAM models) ...")
+    hw = evolve_on_hardware(
+        "CartPole-v0", max_generations=25, pop_size=60, episodes=2, seed=0
+    )
+    print(
+        f"  converged={hw.converged} after {hw.generations} generations; "
+        f"best fitness {hw.best_genome.fitness:.1f}\n"
+    )
+
+    rows = []
+    for report in hw.reports:
+        rows.append([
+            report.generation,
+            f"{report.best_fitness:.1f}",
+            report.num_genes,
+            fmt_seconds(report.inference_seconds),
+            fmt_seconds(report.evolution_seconds),
+            fmt_joules(report.energy.total_energy_j),
+            report.fittest_parent_reuse,
+        ])
+    print(render_table(
+        ["gen", "best fit", "genes", "ADAM time", "EvE time", "energy", "reuse"],
+        rows,
+        title="GeneSys per-generation hardware accounting (200 MHz SoC model)",
+    ))
+    print(
+        f"\nTotal on-chip energy for the whole evolution: "
+        f"{fmt_joules(hw.total_energy_j)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""GeneSys reproduction: NEAT neuro-evolution with hardware acceleration.
+
+Reproduction of Samajdar et al., "GeneSys: Enabling Continuous Learning
+through Neural Network Evolution in Hardware" (MICRO 2018).
+
+Public API tour:
+
+* :mod:`repro.neat` — from-scratch NEAT (genes, genomes, speciation,
+  reproduction, feed-forward phenotypes).
+* :mod:`repro.envs` — gym-equivalent environments (classic control,
+  simplified Box2D, synthetic Atari-RAM kernels).
+* :mod:`repro.hw` — cycle/energy models of the EvE evolution engine, the
+  ADAM systolic inference engine, the banked genome SRAM and the NoC.
+* :mod:`repro.core` — the GeneSys SoC walkthrough loop and closed-loop
+  runners (software and hardware-in-the-loop).
+* :mod:`repro.platforms` — analytical CPU/GPU/GENESYS platform models for
+  the paper's evaluation sweeps.
+* :mod:`repro.baselines` — DQN with exact op accounting (Table II).
+* :mod:`repro.analysis` — characterisation harnesses and ASCII reporting.
+
+Quickstart::
+
+    from repro.core import evolve_on_hardware
+    result = evolve_on_hardware("CartPole-v0", max_generations=20)
+    print(result.best_genome.fitness, result.total_energy_j)
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, baselines, core, envs, hw, neat, platforms
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "baselines",
+    "core",
+    "envs",
+    "hw",
+    "neat",
+    "platforms",
+]

@@ -1,0 +1,188 @@
+"""Workload characterisation harness (Section III, Figs. 4-5 and 11a).
+
+Runs software NEAT over the environment suite — multiple seeds per
+environment, as the paper's distributions are "across all generations till
+convergence and 100 separate runs" — and extracts every series/distribution
+the characterisation figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.trace import TraceRecorder, WorkloadTrace
+from ..envs.registry import make
+from ..neat.statistics import GENE_BYTES
+
+
+@dataclass
+class RunCharacterisation:
+    """Per-generation series for one (env, seed) run."""
+
+    env_id: str
+    seed: int
+    best_fitness: List[float] = field(default_factory=list)
+    mean_fitness: List[float] = field(default_factory=list)
+    num_genes: List[int] = field(default_factory=list)
+    num_nodes: List[int] = field(default_factory=list)
+    num_connections: List[int] = field(default_factory=list)
+    ops: List[int] = field(default_factory=list)
+    footprint_bytes: List[int] = field(default_factory=list)
+    parent_reuse: List[int] = field(default_factory=list)
+    converged_at: Optional[int] = None
+
+    @property
+    def generations(self) -> int:
+        return len(self.best_fitness)
+
+
+@dataclass
+class EnvCharacterisation:
+    """All runs of one environment."""
+
+    env_id: str
+    runs: List[RunCharacterisation] = field(default_factory=list)
+
+    # -- Fig. 4(a): normalised fitness ------------------------------------
+
+    def normalised_fitness_curves(self) -> List[List[float]]:
+        """Each run's best fitness normalised to [0, 1] over its range.
+
+        A flat run (already at its best from generation 0) normalises to
+        all-ones rather than all-zeros.
+        """
+        curves = []
+        for run in self.runs:
+            lo = min(run.best_fitness)
+            hi = max(run.best_fitness)
+            if hi == lo:
+                curves.append([1.0] * len(run.best_fitness))
+                continue
+            span = hi - lo
+            curves.append([(f - lo) / span for f in run.best_fitness])
+        return curves
+
+    def mean_normalised_fitness(self) -> List[float]:
+        curves = self.normalised_fitness_curves()
+        length = max(len(c) for c in curves)
+        out = []
+        for i in range(length):
+            vals = [c[i] if i < len(c) else c[-1] for c in curves]
+            out.append(sum(vals) / len(vals))
+        return out
+
+    # -- Fig. 4(b)/(c), Fig. 5, Fig. 11(a) --------------------------------
+
+    def gene_count_series(self) -> List[float]:
+        length = max(r.generations for r in self.runs)
+        out = []
+        for i in range(length):
+            vals = [
+                r.num_genes[i] if i < len(r.num_genes) else r.num_genes[-1]
+                for r in self.runs
+            ]
+            out.append(sum(vals) / len(vals))
+        return out
+
+    def ops_distribution(self) -> List[int]:
+        """All per-generation op counts pooled across runs (Fig. 5a)."""
+        return [op for run in self.runs for op in run.ops if op > 0]
+
+    def footprint_distribution(self) -> List[int]:
+        return [fp for run in self.runs for fp in run.footprint_bytes]
+
+    def reuse_distribution(self) -> List[int]:
+        return [r for run in self.runs for r in run.parent_reuse if r > 0]
+
+    def reuse_series(self) -> List[float]:
+        length = max(r.generations for r in self.runs)
+        out = []
+        for i in range(length):
+            vals = [
+                r.parent_reuse[i] if i < len(r.parent_reuse) else r.parent_reuse[-1]
+                for r in self.runs
+            ]
+            out.append(sum(vals) / len(vals))
+        return out
+
+    def composition(self) -> Dict[str, float]:
+        """Final node/connection split averaged over runs (Fig. 11a)."""
+        nodes = [r.num_nodes[-1] for r in self.runs if r.num_nodes]
+        conns = [r.num_connections[-1] for r in self.runs if r.num_connections]
+        return {
+            "nodes": sum(nodes) / len(nodes) if nodes else 0.0,
+            "connections": sum(conns) / len(conns) if conns else 0.0,
+        }
+
+    def convergence_generations(self) -> List[Optional[int]]:
+        return [r.converged_at for r in self.runs]
+
+
+def characterise_env(
+    env_id: str,
+    runs: int = 3,
+    generations: int = 20,
+    pop_size: int = 50,
+    episodes: int = 1,
+    max_steps: Optional[int] = None,
+    base_seed: int = 0,
+    stop_at_solve: bool = True,
+) -> EnvCharacterisation:
+    """Run NEAT ``runs`` times on ``env_id``, recording all Fig. 4/5 series.
+
+    Scaled-down defaults (the paper uses pop 150 and 100 runs) keep the
+    benches laptop-fast; the shapes are already stable at this scale.
+    ``stop_at_solve=False`` always runs the full generation budget, which
+    matters when ``max_steps`` caps make the solve threshold trivial.
+    """
+    from ..core.runner import config_for_env
+    from ..envs.evaluate import FitnessEvaluator
+    from ..neat.population import Population
+
+    env = make(env_id)
+    threshold = getattr(env, "solve_threshold", None)
+    result = EnvCharacterisation(env_id=env_id)
+    for run_index in range(runs):
+        seed = base_seed + 1000 * run_index
+        config = config_for_env(env_id, pop_size=pop_size)
+        population = Population(config, seed=seed)
+        evaluator = FitnessEvaluator(
+            env_id, episodes=episodes, max_steps=max_steps, seed=seed
+        )
+        run = RunCharacterisation(env_id=env_id, seed=seed)
+        for gen in range(generations):
+            stats = population.run_generation(evaluator)
+            run.best_fitness.append(stats.best_fitness)
+            run.mean_fitness.append(stats.mean_fitness)
+            run.num_genes.append(stats.num_genes)
+            run.num_nodes.append(stats.num_nodes)
+            run.num_connections.append(stats.num_connections)
+            run.ops.append(stats.ops.total)
+            run.footprint_bytes.append(stats.memory_footprint_bytes)
+            run.parent_reuse.append(stats.fittest_parent_reuse)
+            if (
+                run.converged_at is None
+                and threshold is not None
+                and stats.best_fitness >= threshold
+            ):
+                run.converged_at = gen
+                if stop_at_solve:
+                    break
+        result.runs.append(run)
+    return result
+
+
+def record_workload(
+    env_id: str,
+    generations: int = 5,
+    pop_size: int = 50,
+    episodes: int = 1,
+    max_steps: Optional[int] = None,
+    seed: int = 0,
+) -> WorkloadTrace:
+    """Convenience wrapper over :class:`TraceRecorder` (platform benches)."""
+    recorder = TraceRecorder(
+        env_id, pop_size=pop_size, episodes=episodes, max_steps=max_steps, seed=seed
+    )
+    return recorder.record(generations)

@@ -1,0 +1,51 @@
+"""Memory footprint analysis (Section III-D1, Fig. 5b, Fig. 10d).
+
+"the memory footprint for EAs at any time is simply the space required to
+store all the genes of all genomes within a generation" — under 1 MB for
+every workload the paper looked at, which is what lets the whole
+generation live in the 1.5 MB on-chip genome buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..core.trace import GenerationWorkload
+from ..hw.sram import SRAMConfig
+from ..neat.statistics import GENE_BYTES
+
+
+@dataclass
+class FootprintReport:
+    env_id: str
+    max_bytes: int
+    mean_bytes: float
+    fits_on_chip: bool
+    sram_capacity_bytes: int
+
+    @property
+    def occupancy(self) -> float:
+        return self.max_bytes / self.sram_capacity_bytes
+
+
+def footprint_report(
+    env_id: str,
+    workloads: Sequence[GenerationWorkload],
+    sram: SRAMConfig = None,
+) -> FootprintReport:
+    sram = sram or SRAMConfig()
+    footprints = [w.footprint_bytes for w in workloads]
+    max_bytes = max(footprints) if footprints else 0
+    mean_bytes = sum(footprints) / len(footprints) if footprints else 0.0
+    return FootprintReport(
+        env_id=env_id,
+        max_bytes=max_bytes,
+        mean_bytes=mean_bytes,
+        fits_on_chip=max_bytes <= sram.capacity_bytes,
+        sram_capacity_bytes=sram.capacity_bytes,
+    )
+
+
+def genes_to_bytes(num_genes: int) -> int:
+    return num_genes * GENE_BYTES

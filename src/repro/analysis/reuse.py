@@ -1,0 +1,52 @@
+"""Genome-level reuse (GLR) analysis (Section III-D3, Fig. 4c).
+
+"In every generation, the same fit parent is often used to generate
+multiple children ... the fittest parent in every generation was reused
+close to 20 times, and for some applications like Cartpole and Lunar
+lander, this number increased up to 80."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..neat.reproduction import ReproductionPlan
+
+
+@dataclass
+class ReuseStats:
+    """Parent-usage statistics for one generation's reproduction plan."""
+
+    fittest_parent_reuse: int
+    max_parent_reuse: int
+    mean_parent_reuse: float
+    distinct_parents: int
+    children: int
+
+    @property
+    def read_savings_factor(self) -> float:
+        """Upper bound on SRAM read reduction from caching hot parents:
+        children per distinct parent stream (2 streams per child)."""
+        if self.distinct_parents == 0:
+            return 1.0
+        return max(1.0, 2.0 * self.children / self.distinct_parents)
+
+
+def reuse_stats(plan: ReproductionPlan, fitnesses: Dict[int, float]) -> ReuseStats:
+    usage = plan.parent_usage()
+    if not usage:
+        return ReuseStats(0, 0, 0.0, 0, 0)
+    return ReuseStats(
+        fittest_parent_reuse=plan.fittest_parent_reuse(fitnesses),
+        max_parent_reuse=max(usage.values()),
+        mean_parent_reuse=sum(usage.values()) / len(usage),
+        distinct_parents=len(usage),
+        children=len(plan.events),
+    )
+
+
+def reuse_series(
+    plans: Sequence[ReproductionPlan], fitness_history: Sequence[Dict[int, float]]
+) -> List[ReuseStats]:
+    return [reuse_stats(p, f) for p, f in zip(plans, fitness_history)]

@@ -1,0 +1,94 @@
+"""Species dynamics tracking.
+
+Speciation and fitness sharing are NEAT's innovation-protection machinery
+(Section II-D).  This tracker records how the niche structure evolves —
+species counts, sizes, births and extinctions — the classic NEAT
+"speciation plot", useful for diagnosing premature convergence when
+tuning the compatibility threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..neat.population import Population
+from ..neat.species import SpeciesSet
+
+
+@dataclass
+class SpeciesSnapshot:
+    generation: int
+    sizes: Dict[int, int]
+    best_fitness: Dict[int, Optional[float]]
+
+    @property
+    def num_species(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def largest(self) -> int:
+        return max(self.sizes.values()) if self.sizes else 0
+
+    @property
+    def dominance(self) -> float:
+        """Fraction of the population held by the largest species."""
+        total = sum(self.sizes.values())
+        return self.largest / total if total else 0.0
+
+
+@dataclass
+class SpeciesHistory:
+    snapshots: List[SpeciesSnapshot] = field(default_factory=list)
+
+    def record(self, species_set: SpeciesSet, generation: int) -> SpeciesSnapshot:
+        snapshot = SpeciesSnapshot(
+            generation=generation,
+            sizes={key: len(s) for key, s in species_set.species.items()},
+            best_fitness={
+                key: s.fitness for key, s in species_set.species.items()
+            },
+        )
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    # -- series -----------------------------------------------------------
+
+    def count_series(self) -> List[int]:
+        return [s.num_species for s in self.snapshots]
+
+    def dominance_series(self) -> List[float]:
+        return [s.dominance for s in self.snapshots]
+
+    def lifetimes(self) -> Dict[int, int]:
+        """Generations each species key was observed alive."""
+        seen: Dict[int, int] = {}
+        for snapshot in self.snapshots:
+            for key in snapshot.sizes:
+                seen[key] = seen.get(key, 0) + 1
+        return seen
+
+    def births_and_extinctions(self) -> List[Dict[str, Set[int]]]:
+        """Per-generation species births/extinctions (vs previous gen)."""
+        events: List[Dict[str, Set[int]]] = []
+        previous: Set[int] = set()
+        for snapshot in self.snapshots:
+            current = set(snapshot.sizes)
+            events.append(
+                {"born": current - previous, "extinct": previous - current}
+            )
+            previous = current
+        return events
+
+
+def track_run(
+    population: Population,
+    fitness_function,
+    generations: int,
+) -> SpeciesHistory:
+    """Run ``generations`` NEAT generations while recording speciation."""
+    history = SpeciesHistory()
+    for _ in range(generations):
+        history.record(population.species_set, population.generation)
+        population.run_generation(fitness_function)
+    return history

@@ -1,0 +1,46 @@
+"""RL baselines: DQN with exact op/byte accounting (Table II)."""
+
+from .dqn import (
+    DQNAgent,
+    DQNConfig,
+    OpCounters,
+    PAPER_DQN_ACTIONS,
+    PAPER_DQN_CONV,
+    PAPER_DQN_FC,
+    PAPER_DQN_INPUT,
+    QNetwork,
+    ea_accounting,
+    paper_dqn_accounting,
+)
+from .evolution_strategies import (
+    ESConfig,
+    ESPolicy,
+    ESStats,
+    EvolutionStrategies,
+    centered_ranks,
+)
+from .reinforce import PolicyNetwork, ReinforceAgent, ReinforceConfig
+from .replay import ReplayMemory, Transition
+
+__all__ = [
+    "ESConfig",
+    "ESPolicy",
+    "ESStats",
+    "EvolutionStrategies",
+    "centered_ranks",
+    "DQNAgent",
+    "DQNConfig",
+    "OpCounters",
+    "PAPER_DQN_ACTIONS",
+    "PAPER_DQN_CONV",
+    "PAPER_DQN_FC",
+    "PAPER_DQN_INPUT",
+    "PolicyNetwork",
+    "QNetwork",
+    "ReinforceAgent",
+    "ReinforceConfig",
+    "ReplayMemory",
+    "Transition",
+    "ea_accounting",
+    "paper_dqn_accounting",
+]

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``envs``                      list the environment suite (Table I)
+``run ENV``                   evolve ENV in software or on the SoC model
+``characterise ENV``          Fig. 4/5-style workload characterisation
+``platforms ENV``             Fig. 9-style platform runtime/energy matrix
+``design-space``              Fig. 8 power/area sweep of the SoC
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.reporting import (
+    fmt_bytes,
+    fmt_joules,
+    fmt_seconds,
+    render_table,
+)
+
+
+def _cmd_envs(_args: argparse.Namespace) -> int:
+    from .envs import available, make
+
+    rows = []
+    for env_id in available():
+        env = make(env_id)
+        rows.append([
+            env_id, env.num_observations, env.num_actions, env.max_episode_steps,
+        ])
+    print(render_table(
+        ["Environment", "observations", "actions", "step limit"], rows,
+        title="Environment suite (Table I)",
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.hardware:
+        from .core import evolve_on_hardware
+
+        result = evolve_on_hardware(
+            args.env, max_generations=args.generations, pop_size=args.population,
+            episodes=args.episodes, seed=args.seed, max_steps=args.max_steps,
+        )
+        print(
+            f"[hardware] {args.env}: best fitness "
+            f"{result.best_genome.fitness:.2f} after {result.generations} "
+            f"generations (converged={result.converged})"
+        )
+        print(
+            f"  chip time {fmt_seconds(result.total_cycles / 200e6)}, "
+            f"energy {fmt_joules(result.total_energy_j)}"
+        )
+        best = result.best_genome
+        config = result.soc.config.neat
+    else:
+        from .core import evolve_software
+
+        result = evolve_software(
+            args.env, max_generations=args.generations, pop_size=args.population,
+            episodes=args.episodes, seed=args.seed, max_steps=args.max_steps,
+        )
+        print(
+            f"[software] {args.env}: best fitness "
+            f"{result.best_genome.fitness:.2f} after {result.generations} "
+            f"generations (converged={result.converged})"
+        )
+        conns, nodes = result.best_genome.size()
+        print(f"  champion: {conns} enabled connections, {nodes} nodes")
+        best = result.best_genome
+        config = result.population.config
+    if args.show:
+        from .analysis.netviz import describe_genome
+
+        print(describe_genome(best, config.genome))
+    if args.save:
+        from .neat.serialize import save_genome
+
+        save_genome(best, args.save, config=config)
+        print(f"  champion saved to {args.save}")
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    """Load a saved champion and roll it out in its environment."""
+    from .envs import make, run_episode
+    from .neat.network import FeedForwardNetwork
+    from .neat.serialize import load_genome_with_config
+
+    genome, config = load_genome_with_config(args.champion)
+    network = FeedForwardNetwork.create(genome, config.genome)
+    env = make(args.env)
+    rewards = []
+    for episode in range(args.episodes):
+        env.seed(args.seed + episode)
+        result = run_episode(network, env, max_steps=args.max_steps)
+        rewards.append(result.total_reward)
+        print(f"episode {episode}: reward {result.total_reward:.2f} "
+              f"in {result.steps} steps")
+    print(f"mean reward over {len(rewards)} episodes: "
+          f"{sum(rewards) / len(rewards):.2f}")
+    return 0
+
+
+def _cmd_characterise(args: argparse.Namespace) -> int:
+    from .core import TraceRecorder
+
+    recorder = TraceRecorder(
+        args.env, pop_size=args.population, seed=args.seed,
+        max_steps=args.max_steps,
+    )
+    trace = recorder.record(args.generations)
+    rows = []
+    for w in trace.workloads:
+        rows.append([
+            w.generation, w.total_nodes, w.total_connections,
+            w.evolution_ops, fmt_bytes(w.footprint_bytes),
+            w.fittest_parent_reuse, w.env_steps,
+        ])
+    print(render_table(
+        ["gen", "node genes", "conn genes", "ops", "footprint",
+         "fittest reuse", "env steps"],
+        rows,
+        title=f"Workload characterisation: {args.env} "
+              f"(population {args.population})",
+    ))
+    return 0
+
+
+def _cmd_platforms(args: argparse.Namespace) -> int:
+    from .core import TraceRecorder
+    from .platforms import all_platforms
+
+    trace = TraceRecorder(
+        args.env, pop_size=args.population, seed=args.seed,
+        max_steps=args.max_steps,
+    ).record(args.generations)
+    workload = trace.mean_workload()
+    rows = []
+    for platform in all_platforms():
+        inference = platform.inference_cost(workload)
+        evolution = platform.evolution_cost(workload)
+        rows.append([
+            platform.name,
+            fmt_seconds(inference.runtime_s),
+            fmt_joules(inference.energy_j),
+            fmt_seconds(evolution.runtime_s),
+            fmt_joules(evolution.energy_j),
+            fmt_bytes(platform.memory_footprint_bytes(workload)),
+        ])
+    print(render_table(
+        ["platform", "inf time/gen", "inf energy/gen",
+         "evo time/gen", "evo energy/gen", "footprint"],
+        rows,
+        title=f"Platform comparison on {args.env} (Fig. 9 style)",
+    ))
+    return 0
+
+
+def _cmd_design_space(args: argparse.Namespace) -> int:
+    from .hw.energy import area_breakdown, pe_sweep, roofline_power
+
+    rows = []
+    for entry in pe_sweep():
+        n = entry["num_eve_pe"]
+        rows.append([
+            n,
+            f"{roofline_power(n).total_mw:.1f}",
+            f"{area_breakdown(n).total_mm2:.3f}",
+        ])
+    print(render_table(
+        ["EvE PEs", "roofline mW", "area mm2"], rows,
+        title="GeneSys design space (Fig. 8)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GeneSys (MICRO 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("envs", help="list the environment suite").set_defaults(
+        func=_cmd_envs
+    )
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("env", help="environment id, e.g. CartPole-v0")
+        p.add_argument("--generations", type=int, default=10)
+        p.add_argument("--population", type=int, default=50)
+        p.add_argument("--episodes", type=int, default=1)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--max-steps", type=int, default=None)
+
+    run = sub.add_parser("run", help="evolve an environment")
+    add_workload_args(run)
+    run.add_argument("--hardware", action="store_true",
+                     help="run the EvE/ADAM hardware-in-the-loop path")
+    run.add_argument("--save", metavar="FILE",
+                     help="save the champion genome (JSON)")
+    run.add_argument("--show", action="store_true",
+                     help="print the champion's topology")
+    run.set_defaults(func=_cmd_run)
+
+    infer = sub.add_parser("infer", help="roll out a saved champion")
+    infer.add_argument("champion", help="champion JSON from 'run --save'")
+    infer.add_argument("env", help="environment id")
+    infer.add_argument("--episodes", type=int, default=3)
+    infer.add_argument("--seed", type=int, default=0)
+    infer.add_argument("--max-steps", type=int, default=None)
+    infer.set_defaults(func=_cmd_infer)
+
+    char = sub.add_parser("characterise", help="workload characterisation")
+    add_workload_args(char)
+    char.set_defaults(func=_cmd_characterise)
+
+    plat = sub.add_parser("platforms", help="platform comparison")
+    add_workload_args(plat)
+    plat.set_defaults(func=_cmd_platforms)
+
+    sub.add_parser("design-space", help="PE sweep power/area table").set_defaults(
+        func=_cmd_design_space
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

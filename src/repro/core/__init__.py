@@ -1,0 +1,32 @@
+"""GeneSys core: the SoC model and closed-loop runners."""
+
+from .config import GeneSysConfig
+from .runner import (
+    HardwareRunResult,
+    SoftwareRunResult,
+    config_for_env,
+    evolve_on_hardware,
+    evolve_software,
+)
+from .soc import GenerationReport, GeneSysSoC
+from .trace import (
+    GenerationWorkload,
+    TraceLine,
+    TraceRecorder,
+    WorkloadTrace,
+)
+
+__all__ = [
+    "GeneSysConfig",
+    "GeneSysSoC",
+    "GenerationReport",
+    "GenerationWorkload",
+    "HardwareRunResult",
+    "SoftwareRunResult",
+    "TraceLine",
+    "TraceRecorder",
+    "WorkloadTrace",
+    "config_for_env",
+    "evolve_on_hardware",
+    "evolve_software",
+]

@@ -1,0 +1,125 @@
+"""High-level closed-loop runners.
+
+:func:`evolve_software` — the paper's baseline path (neat-python style):
+software NEAT, software inference.
+
+:func:`evolve_on_hardware` — the GeneSys path: the same NEAT selection on
+the System CPU, but reproduction executed by the EvE PE model on packed
+64-bit genes and inference executed by the ADAM systolic model.  This is
+the "first system ... to perform evolutionary learning and inference on
+the same chip" loop, in simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..envs.evaluate import FitnessEvaluator
+from ..envs.registry import make
+from ..neat.config import NEATConfig
+from ..neat.genome import Genome
+from ..neat.population import Population
+from .config import GeneSysConfig
+from .soc import GenerationReport, GeneSysSoC
+
+
+@dataclass
+class SoftwareRunResult:
+    best_genome: Genome
+    population: Population
+    generations: int
+    converged: bool
+
+
+@dataclass
+class HardwareRunResult:
+    best_genome: Genome
+    soc: GeneSysSoC
+    reports: List[GenerationReport]
+    generations: int
+    converged: bool
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(r.energy.total_energy_j for r in self.reports)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(r.inference_cycles + r.evolution_cycles for r in self.reports)
+
+
+def config_for_env(
+    env_id: str,
+    pop_size: int = 150,
+    fitness_threshold: Optional[float] = None,
+) -> NEATConfig:
+    """NEAT config sized to an environment (Section III-B's recipe)."""
+    env = make(env_id)
+    threshold = fitness_threshold
+    if threshold is None:
+        threshold = getattr(env, "solve_threshold", None)
+    return NEATConfig.for_env(
+        env.num_observations,
+        max(2, env.num_actions),
+        pop_size=pop_size,
+        fitness_threshold=threshold,
+    )
+
+
+def evolve_software(
+    env_id: str,
+    max_generations: int = 50,
+    pop_size: int = 150,
+    episodes: int = 1,
+    max_steps: Optional[int] = None,
+    seed: int = 0,
+    fitness_threshold: Optional[float] = None,
+) -> SoftwareRunResult:
+    """Pure-software NEAT run (the CPU/GPU baseline algorithm)."""
+    config = config_for_env(env_id, pop_size, fitness_threshold)
+    population = Population(config, seed=seed)
+    evaluator = FitnessEvaluator(
+        env_id, episodes=episodes, max_steps=max_steps, seed=seed
+    )
+    best = population.run(evaluator, max_generations=max_generations)
+    return SoftwareRunResult(
+        best_genome=best,
+        population=population,
+        generations=population.generation,
+        converged=population.converged,
+    )
+
+
+def evolve_on_hardware(
+    env_id: str,
+    max_generations: int = 50,
+    pop_size: int = 150,
+    episodes: int = 1,
+    max_steps: Optional[int] = None,
+    seed: int = 0,
+    fitness_threshold: Optional[float] = None,
+    soc_config: Optional[GeneSysConfig] = None,
+) -> HardwareRunResult:
+    """Closed-loop evolution through the EvE/ADAM hardware models."""
+    neat_config = config_for_env(env_id, pop_size, fitness_threshold)
+    if soc_config is None:
+        soc_config = GeneSysConfig.paper_design_point(neat=neat_config)
+    else:
+        soc_config.neat = neat_config
+    soc_config.seed = seed
+    soc = GeneSysSoC(soc_config, env_id, episodes=episodes, max_steps=max_steps)
+    best = soc.run(max_generations=max_generations)
+    threshold = neat_config.fitness_threshold
+    converged = (
+        threshold is not None
+        and best.fitness is not None
+        and best.fitness >= threshold
+    )
+    return HardwareRunResult(
+        best_genome=best,
+        soc=soc,
+        reports=soc.reports,
+        generations=soc.generation,
+        converged=converged,
+    )

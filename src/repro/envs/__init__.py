@@ -1,0 +1,69 @@
+"""Environment substrate: gym-equivalent workloads from Table I."""
+
+from .acrobot import AcrobotEnv
+from .atari_ram import (
+    AirRaidRamEnv,
+    AlienRamEnv,
+    AmidarRamEnv,
+    AsterixRamEnv,
+    AtariRAMEnv,
+    RAM_SIZE,
+)
+from .base import Environment
+from .bipedal import BipedalWalkerEnv
+from .cartpole import CartPoleEnv
+from .evaluate import (
+    EpisodeResult,
+    EvaluationTotals,
+    FitnessEvaluator,
+    action_from_outputs,
+    run_episode,
+)
+from .lunar_lander import LunarLanderEnv
+from .mountain_car import MountainCarEnv
+from .registry import (
+    ATARI_SUITE,
+    CANONICAL_IDS,
+    CLASSIC_SUITE,
+    EVALUATION_SUITE,
+    UnknownEnvironmentError,
+    available,
+    make,
+    register,
+)
+from .seeding import derive_seed, make_rng
+from .spaces import Box, Discrete, MultiBinary, Space
+
+__all__ = [
+    "ATARI_SUITE",
+    "AcrobotEnv",
+    "AirRaidRamEnv",
+    "AlienRamEnv",
+    "AmidarRamEnv",
+    "AsterixRamEnv",
+    "AtariRAMEnv",
+    "BipedalWalkerEnv",
+    "Box",
+    "CANONICAL_IDS",
+    "CLASSIC_SUITE",
+    "CartPoleEnv",
+    "Discrete",
+    "Environment",
+    "EpisodeResult",
+    "EvaluationTotals",
+    "EVALUATION_SUITE",
+    "FitnessEvaluator",
+    "LunarLanderEnv",
+    "MountainCarEnv",
+    "MultiBinary",
+    "RAM_SIZE",
+    "Space",
+    "UnknownEnvironmentError",
+    "action_from_outputs",
+    "available",
+    "derive_seed",
+    "make",
+    "make_rng",
+    "register",
+    "run_episode",
+]

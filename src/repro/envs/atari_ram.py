@@ -1,0 +1,306 @@
+"""Synthetic Atari-RAM environments.
+
+The paper's Atari workloads (AirRaid-ram, Alien-ram, Asterix-ram,
+Amidar-ram) observe the 128-byte console RAM and emit one button press per
+step (Table I).  Real Atari ROMs/emulators are unavailable offline, so
+each class below is a small self-contained arcade kernel whose complete
+game state is packed into a 128-byte RAM image every step.
+
+What the architecture study needs from these workloads — and what the
+kernels preserve — is their *scale*: 128-input genomes push generation
+gene counts into the ~10^5 range (Fig. 4b) and reproduction op counts into
+the hundred-thousands class (Fig. 5a), an order of magnitude above the
+classic-control suite.  Scoring is dense enough that NEAT's fitness signal
+is climbable.
+
+Observations are the RAM bytes scaled to [0, 1] (raw byte / 255).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from .base import Environment
+from .spaces import Box, Discrete
+
+RAM_SIZE = 128
+
+# Minimal Atari-style action set shared by all four kernels.
+NOOP, FIRE, UP, RIGHT, LEFT, DOWN = range(6)
+
+
+class AtariRAMEnv(Environment):
+    """Base class: subclasses implement the game kernel and RAM packing."""
+
+    observation_space = Box(low=[0.0] * RAM_SIZE, high=[1.0] * RAM_SIZE)
+    action_space = Discrete(6)
+    max_episode_steps = 300
+    solve_threshold = 50.0
+
+    def _reset(self) -> np.ndarray:
+        self.score = 0.0
+        self._reset_game()
+        return self._ram_observation()
+
+    def _step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        reward, done = self._step_game(action)
+        self.score += reward
+        return self._ram_observation(), reward, done, {}
+
+    def _ram_observation(self) -> np.ndarray:
+        ram = np.zeros(RAM_SIZE, dtype=np.float64)
+        payload = self._ram_bytes()
+        if len(payload) > RAM_SIZE:
+            raise ValueError(f"{self.name}: RAM payload exceeds 128 bytes")
+        for i, byte in enumerate(payload):
+            ram[i] = (int(byte) & 0xFF) / 255.0
+        return ram
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _reset_game(self) -> None:
+        raise NotImplementedError
+
+    def _step_game(self, action: int) -> Tuple[float, bool]:
+        raise NotImplementedError
+
+    def _ram_bytes(self) -> List[int]:
+        raise NotImplementedError
+
+
+class AirRaidRamEnv(AtariRAMEnv):
+    """Fixed gun at the bottom, descending raiders: shoot them down.
+
+    Player slides on a 16-cell rail; up to 8 raiders descend from random
+    columns.  FIRE launches a bullet up the player's column; a hit scores.
+    A raider reaching the ground costs a life (3 lives).
+    """
+
+    WIDTH = 16
+    HEIGHT = 12
+    MAX_RAIDERS = 8
+
+    def _reset_game(self) -> None:
+        self.player_x = self.WIDTH // 2
+        self.lives = 3
+        self.bullet: Tuple[int, int] = (-1, -1)  # (x, y), -1 = inactive
+        self.raiders: List[List[int]] = []
+        self.spawn_cooldown = 0
+
+    def _step_game(self, action: int) -> Tuple[float, bool]:
+        reward = 0.0
+        if action == LEFT:
+            self.player_x = max(0, self.player_x - 1)
+        elif action == RIGHT:
+            self.player_x = min(self.WIDTH - 1, self.player_x + 1)
+        elif action == FIRE and self.bullet[1] < 0:
+            self.bullet = (self.player_x, self.HEIGHT - 2)
+
+        # Advance the bullet two cells per frame.
+        if self.bullet[1] >= 0:
+            bx, by = self.bullet
+            by -= 2
+            self.bullet = (bx, by) if by >= 0 else (-1, -1)
+
+        # Spawn raiders.
+        if self.spawn_cooldown == 0 and len(self.raiders) < self.MAX_RAIDERS:
+            self.raiders.append([self.rng.randrange(self.WIDTH), 0])
+            self.spawn_cooldown = 3
+        else:
+            self.spawn_cooldown = max(0, self.spawn_cooldown - 1)
+
+        # Advance raiders, check bullet collisions and ground impacts.
+        survivors: List[List[int]] = []
+        for raider in self.raiders:
+            raider[1] += 1
+            bx, by = self.bullet
+            if bx == raider[0] and by in (raider[1], raider[1] - 1):
+                reward += 5.0
+                self.bullet = (-1, -1)
+                continue
+            if raider[1] >= self.HEIGHT - 1:
+                self.lives -= 1
+                continue
+            survivors.append(raider)
+        self.raiders = survivors
+        return reward, self.lives <= 0
+
+    def _ram_bytes(self) -> List[int]:
+        ram = [self.player_x, self.lives, self.bullet[0] & 0xFF, self.bullet[1] & 0xFF,
+               len(self.raiders), int(self.score) & 0xFF]
+        for raider in self.raiders:
+            ram.extend([raider[0], raider[1]])
+        return ram
+
+
+class AlienRamEnv(AtariRAMEnv):
+    """Collect dots in a corridor grid while an alien chases you."""
+
+    WIDTH = 12
+    HEIGHT = 10
+
+    def _reset_game(self) -> None:
+        self.px, self.py = 0, 0
+        self.ax, self.ay = self.WIDTH - 1, self.HEIGHT - 1
+        self.dots = {
+            (x, y)
+            for x in range(0, self.WIDTH, 2)
+            for y in range(0, self.HEIGHT, 2)
+        }
+        self.flee_timer = 0
+
+    def _step_game(self, action: int) -> Tuple[float, bool]:
+        reward = 0.0
+        if action == UP:
+            self.py = max(0, self.py - 1)
+        elif action == DOWN:
+            self.py = min(self.HEIGHT - 1, self.py + 1)
+        elif action == LEFT:
+            self.px = max(0, self.px - 1)
+        elif action == RIGHT:
+            self.px = min(self.WIDTH - 1, self.px + 1)
+        elif action == FIRE and self.flee_timer == 0:
+            self.flee_timer = 8  # flamethrower scares the alien off
+
+        if (self.px, self.py) in self.dots:
+            self.dots.discard((self.px, self.py))
+            reward += 2.0
+
+        # Alien moves greedily towards (or away from) the player every frame.
+        direction = -1 if self.flee_timer > 0 else 1
+        if self.rng.random() < 0.8:
+            if abs(self.ax - self.px) >= abs(self.ay - self.py):
+                self.ax += direction if self.px > self.ax else -direction
+            else:
+                self.ay += direction if self.py > self.ay else -direction
+            self.ax = min(self.WIDTH - 1, max(0, self.ax))
+            self.ay = min(self.HEIGHT - 1, max(0, self.ay))
+        self.flee_timer = max(0, self.flee_timer - 1)
+
+        if (self.ax, self.ay) == (self.px, self.py):
+            return reward - 10.0, True
+        if not self.dots:
+            return reward + 20.0, True
+        return reward, False
+
+    def _ram_bytes(self) -> List[int]:
+        ram = [self.px, self.py, self.ax, self.ay, self.flee_timer,
+               len(self.dots), int(self.score) & 0xFF]
+        # Bitmap of remaining dots (6x5 coarse grid -> 30 bits in 4 bytes).
+        bitmap = 0
+        for i, (x, y) in enumerate(sorted(self.dots)):
+            bitmap |= 1 << (i % 30)
+        ram.extend([(bitmap >> (8 * i)) & 0xFF for i in range(4)])
+        dot_list = sorted(self.dots)[:40]
+        for x, y in dot_list:
+            ram.append(x * 16 + y)
+        return ram
+
+
+class AsterixRamEnv(AtariRAMEnv):
+    """Move between lanes collecting scrolling bonuses, dodging lyres."""
+
+    LANES = 8
+    WIDTH = 16
+
+    def _reset_game(self) -> None:
+        self.lane = self.LANES // 2
+        self.objects: List[List[int]] = []  # [x, lane, kind] kind 1=bonus 0=lyre
+        self.lives = 3
+
+    def _step_game(self, action: int) -> Tuple[float, bool]:
+        reward = 0.0
+        if action == UP:
+            self.lane = max(0, self.lane - 1)
+        elif action == DOWN:
+            self.lane = min(self.LANES - 1, self.lane + 1)
+
+        if self.rng.random() < 0.5 and len(self.objects) < 10:
+            kind = 1 if self.rng.random() < 0.6 else 0
+            self.objects.append([self.WIDTH - 1, self.rng.randrange(self.LANES), kind])
+
+        survivors: List[List[int]] = []
+        for obj in self.objects:
+            obj[0] -= 1
+            if obj[0] == 0 and obj[1] == self.lane:
+                if obj[2] == 1:
+                    reward += 3.0
+                else:
+                    self.lives -= 1
+                continue
+            if obj[0] > 0:
+                survivors.append(obj)
+        self.objects = survivors
+        return reward, self.lives <= 0
+
+    def _ram_bytes(self) -> List[int]:
+        ram = [self.lane, self.lives, len(self.objects), int(self.score) & 0xFF]
+        for x, lane, kind in self.objects:
+            ram.extend([x, lane * 2 + kind])
+        return ram
+
+
+class AmidarRamEnv(AtariRAMEnv):
+    """Paint the edges of a lattice while evading a patrolling tracer."""
+
+    GRID = 6  # 6x6 vertices
+
+    def _reset_game(self) -> None:
+        self.px, self.py = 0, 0
+        self.tx, self.ty = self.GRID - 1, self.GRID - 1
+        self.painted: set = set()
+        self.total_edges = 2 * self.GRID * (self.GRID - 1)
+
+    @staticmethod
+    def _edge(a: Tuple[int, int], b: Tuple[int, int]) -> Tuple[Tuple[int, int], ...]:
+        return tuple(sorted((a, b)))
+
+    def _move(self, x: int, y: int, action: int) -> Tuple[int, int]:
+        if action == UP:
+            y = max(0, y - 1)
+        elif action == DOWN:
+            y = min(self.GRID - 1, y + 1)
+        elif action == LEFT:
+            x = max(0, x - 1)
+        elif action == RIGHT:
+            x = min(self.GRID - 1, x + 1)
+        return x, y
+
+    def _step_game(self, action: int) -> Tuple[float, bool]:
+        reward = 0.0
+        old = (self.px, self.py)
+        self.px, self.py = self._move(self.px, self.py, action)
+        new = (self.px, self.py)
+        if new != old:
+            edge = self._edge(old, new)
+            if edge not in self.painted:
+                self.painted.add(edge)
+                reward += 1.0
+
+        # Tracer patrols: mostly chases, sometimes wanders.
+        if self.rng.random() < 0.7:
+            if abs(self.tx - self.px) >= abs(self.ty - self.py):
+                chase = RIGHT if self.px > self.tx else LEFT
+            else:
+                chase = DOWN if self.py > self.ty else UP
+        else:
+            chase = self.rng.choice((UP, DOWN, LEFT, RIGHT))
+        self.tx, self.ty = self._move(self.tx, self.ty, chase)
+
+        if (self.tx, self.ty) == (self.px, self.py):
+            return reward - 10.0, True
+        if len(self.painted) == self.total_edges:
+            return reward + 30.0, True
+        return reward, False
+
+    def _ram_bytes(self) -> List[int]:
+        ram = [self.px, self.py, self.tx, self.ty,
+               len(self.painted), int(self.score) & 0xFF]
+        bits = 0
+        edges = sorted(self.painted)
+        for i, _ in enumerate(edges):
+            bits |= 1 << (i % 120)
+        ram.extend([(bits >> (8 * i)) & 0xFF for i in range(15)])
+        return ram

@@ -1,0 +1,86 @@
+"""Environment interface.
+
+A from-scratch stand-in for the OpenAI gym API the paper uses (Table I):
+``reset() -> observation`` and ``step(action) -> (observation, reward,
+done, info)``.  Environments are the "n Environment Instances" block of
+the GeneSys SoC diagram (Fig. 6) — the thing ADAM exchanges state/action
+pairs with in steps 2-4 of the walkthrough.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .seeding import make_rng
+from .spaces import Space
+
+StepResult = Tuple[np.ndarray, float, bool, Dict[str, Any]]
+
+
+class Environment:
+    """Base environment; subclasses implement ``_reset`` and ``_step``."""
+
+    #: subclasses set these class-level space descriptors
+    observation_space: Space
+    action_space: Space
+    #: hard episode cap, mirroring gym's TimeLimit wrapper
+    max_episode_steps: int = 1000
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self.rng: random.Random = make_rng(seed)
+        self._elapsed_steps = 0
+        self._done = True
+
+    # -- public API --------------------------------------------------------
+
+    def seed(self, seed: Optional[int]) -> None:
+        self.rng = make_rng(seed)
+
+    def reset(self) -> np.ndarray:
+        self._elapsed_steps = 0
+        self._done = False
+        obs = self._reset()
+        return np.asarray(obs, dtype=np.float64)
+
+    def step(self, action) -> StepResult:
+        if self._done:
+            raise RuntimeError("step() called on a finished episode; call reset()")
+        if not self.action_space.contains(action):
+            raise ValueError(f"action {action!r} not in {self.action_space!r}")
+        obs, reward, done, info = self._step(action)
+        self._elapsed_steps += 1
+        if self._elapsed_steps >= self.max_episode_steps:
+            done = True
+            info.setdefault("TimeLimit.truncated", True)
+        self._done = done
+        return np.asarray(obs, dtype=np.float64), float(reward), bool(done), info
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _reset(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def _step(self, action) -> StepResult:
+        raise NotImplementedError
+
+    # -- metadata -------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @property
+    def num_observations(self) -> int:
+        return self.observation_space.flat_dim
+
+    @property
+    def num_actions(self) -> int:
+        return self.action_space.flat_dim
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.name}(obs={self.observation_space!r}, act={self.action_space!r})"
+        )

@@ -1,0 +1,128 @@
+"""BipedalWalker-v2 substitute: evolve locomotion for a two-legged robot.
+
+Gym's original is a Box2D contact simulation; this replacement keeps the
+interface of Table I — a 24-dimensional observation (hull state, joint
+angles/speeds, leg contacts, 10 lidar rangefinder slots) and a
+4-dimensional continuous action (hip/knee torques for each leg) — on top
+of a reduced-order gait model: torques drive joint angles, leg phase
+determines ground contact, and forward hull speed follows stance-leg
+motion.  Reward matches gym's structure (forward progress minus torque
+cost, -100 on a fall), which is what evolution climbs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from .base import Environment
+from .spaces import Box
+
+
+class BipedalWalkerEnv(Environment):
+    DT = 0.05
+    JOINT_GAIN = 3.0
+    JOINT_DAMPING = 0.2
+    HULL_DAMPING = 0.12
+    SPEED_GAIN = 0.9
+    TILT_GAIN = 0.35
+    FALL_ANGLE = 1.2
+
+    observation_space = Box(low=[-np.inf] * 24, high=[np.inf] * 24)
+    action_space = Box(low=[-1.0] * 4, high=[1.0] * 4)
+    max_episode_steps = 400
+    solve_threshold = 100.0
+
+    def _reset(self) -> np.ndarray:
+        self.hull_angle = self.rng.uniform(-0.05, 0.05)
+        self.hull_angular_velocity = 0.0
+        self.hull_vx = 0.0
+        self.hull_vy = 0.0
+        self.position = 0.0
+        # joints: [hip1, knee1, hip2, knee2]
+        self.joint_angles = np.array(
+            [self.rng.uniform(-0.1, 0.1) for _ in range(4)], dtype=np.float64
+        )
+        self.joint_speeds = np.zeros(4, dtype=np.float64)
+        self.phase = 0.0
+        return self._observation()
+
+    def _contacts(self) -> Tuple[float, float]:
+        """Alternating stance contacts driven by the gait phase."""
+        leg1 = 1.0 if math.sin(self.phase) >= 0.0 else 0.0
+        return leg1, 1.0 - leg1
+
+    def _lidar(self) -> np.ndarray:
+        # Flat terrain: rangefinder returns depend only on hull attitude.
+        angles = np.linspace(0.0, math.pi / 2, 10)
+        heights = 1.0 / np.maximum(0.2, np.cos(angles - self.hull_angle))
+        return np.clip(heights / 5.0, 0.0, 1.0)
+
+    def _observation(self) -> np.ndarray:
+        c1, c2 = self._contacts()
+        return np.concatenate(
+            [
+                [
+                    self.hull_angle,
+                    self.hull_angular_velocity,
+                    self.hull_vx,
+                    self.hull_vy,
+                ],
+                [
+                    self.joint_angles[0],
+                    self.joint_speeds[0],
+                    self.joint_angles[1],
+                    self.joint_speeds[1],
+                    c1,
+                    self.joint_angles[2],
+                    self.joint_speeds[2],
+                    self.joint_angles[3],
+                    self.joint_speeds[3],
+                    c2,
+                ],
+                self._lidar(),
+            ]
+        ).astype(np.float64)
+
+    def _step(self, action) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        torques = np.clip(np.asarray(action, dtype=np.float64), -1.0, 1.0)
+
+        # Joint dynamics: torque-driven second-order response.
+        self.joint_speeds += self.DT * (
+            self.JOINT_GAIN * torques - self.JOINT_DAMPING * self.joint_speeds
+            - 0.5 * self.joint_angles
+        )
+        self.joint_angles += self.DT * self.joint_speeds
+        self.joint_angles = np.clip(self.joint_angles, -math.pi / 2, math.pi / 2)
+
+        # Stance-leg hip motion propels the hull; asymmetric thrust tilts it.
+        c1, c2 = self._contacts()
+        drive = c1 * (-self.joint_speeds[0]) + c2 * (-self.joint_speeds[2])
+        self.hull_vx += self.DT * (
+            self.SPEED_GAIN * drive - self.HULL_DAMPING * self.hull_vx
+        )
+        tilt = self.TILT_GAIN * (
+            c1 * self.joint_angles[0] - c2 * self.joint_angles[2]
+        )
+        self.hull_angular_velocity += self.DT * (
+            tilt - 0.4 * self.hull_angle - 0.3 * self.hull_angular_velocity
+        )
+        self.hull_angle += self.DT * self.hull_angular_velocity
+        self.hull_vy = 0.05 * math.sin(self.phase) * abs(self.hull_vx)
+        self.position += self.DT * self.hull_vx
+        self.phase += self.DT * (2.0 + 2.0 * max(0.0, self.hull_vx))
+
+        progress = self.DT * self.hull_vx
+        torque_cost = 0.00035 * float(np.sum(np.abs(torques)))
+        reward = 130.0 * progress / 4.0 - torque_cost
+        reward -= 0.001 * abs(self.hull_angle)
+
+        done = False
+        if abs(self.hull_angle) > self.FALL_ANGLE:
+            done = True
+            reward = -100.0
+        if self.position >= 10.0:
+            done = True
+        return self._observation(), reward, done, {}

@@ -1,0 +1,74 @@
+"""CartPole-v0: balance an inverted pendulum on a moving platform.
+
+Exact port of the OpenAI gym classic-control dynamics (Barto, Sutton &
+Anderson 1983 as implemented in gym's ``cartpole.py``): Euler integration
+at 0.02 s, force ±10 N, termination at |x| > 2.4 m or |theta| > 12 deg.
+Table I: four floating point observations, one binary action.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from .base import Environment
+from .spaces import Box, Discrete
+
+
+class CartPoleEnv(Environment):
+    GRAVITY = 9.8
+    MASS_CART = 1.0
+    MASS_POLE = 0.1
+    TOTAL_MASS = MASS_CART + MASS_POLE
+    LENGTH = 0.5  # half the pole's length
+    POLE_MASS_LENGTH = MASS_POLE * LENGTH
+    FORCE_MAG = 10.0
+    TAU = 0.02  # seconds between state updates
+
+    X_THRESHOLD = 2.4
+    THETA_THRESHOLD = 12 * 2 * math.pi / 360
+
+    observation_space = Box(
+        low=[-4.8, -np.inf, -0.418, -np.inf],
+        high=[4.8, np.inf, 0.418, np.inf],
+    )
+    action_space = Discrete(2)
+    max_episode_steps = 200
+    #: Paper (Table I): balance "for 100 consecutive time steps" wins.
+    solve_threshold = 100.0
+
+    def _reset(self) -> np.ndarray:
+        self.state = np.array(
+            [self.rng.uniform(-0.05, 0.05) for _ in range(4)], dtype=np.float64
+        )
+        return self.state.copy()
+
+    def _step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        x, x_dot, theta, theta_dot = self.state
+        force = self.FORCE_MAG if action == 1 else -self.FORCE_MAG
+        cos_theta = math.cos(theta)
+        sin_theta = math.sin(theta)
+        temp = (
+            force + self.POLE_MASS_LENGTH * theta_dot ** 2 * sin_theta
+        ) / self.TOTAL_MASS
+        theta_acc = (self.GRAVITY * sin_theta - cos_theta * temp) / (
+            self.LENGTH * (4.0 / 3.0 - self.MASS_POLE * cos_theta ** 2 / self.TOTAL_MASS)
+        )
+        x_acc = temp - self.POLE_MASS_LENGTH * theta_acc * cos_theta / self.TOTAL_MASS
+
+        x += self.TAU * x_dot
+        x_dot += self.TAU * x_acc
+        theta += self.TAU * theta_dot
+        theta_dot += self.TAU * theta_acc
+        self.state = np.array([x, x_dot, theta, theta_dot], dtype=np.float64)
+
+        done = bool(
+            x < -self.X_THRESHOLD
+            or x > self.X_THRESHOLD
+            or theta < -self.THETA_THRESHOLD
+            or theta > self.THETA_THRESHOLD
+        )
+        reward = 1.0
+        return self.state.copy(), reward, done, {}

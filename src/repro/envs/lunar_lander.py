@@ -1,0 +1,135 @@
+"""LunarLander-v2 substitute: land a module on a pad using four thrusters.
+
+The gym original is built on Box2D, which is unavailable offline, so this
+is a from-scratch 2-D rigid-body simulation with the same interface
+(Table I: eight floating point observations, one integer action < 4
+"indicating the thruster to fire") and the same shaped-reward structure as
+gym's implementation: progress towards the pad, penalties for speed, tilt
+and fuel, +/-100 terminal bonus, +10 per leg contact.
+
+For the purposes of the paper's study the environment is a black-box
+fitness generator; what matters is its observation/action dimensionality
+and a smoothly climbable reward, both of which are preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from .base import Environment
+from .spaces import Box, Discrete
+
+
+class LunarLanderEnv(Environment):
+    DT = 0.02
+    GRAVITY = -1.62  # lunar gravity, m/s^2
+    MAIN_ENGINE_ACCEL = 3.0
+    SIDE_ENGINE_ACCEL = 1.0
+    SIDE_ENGINE_TORQUE = 1.2
+    ANGULAR_DAMPING = 0.05
+    LEG_SPREAD = 0.2  # half-width of the landing legs, world units
+
+    observation_space = Box(low=[-np.inf] * 8, high=[np.inf] * 8)
+    action_space = Discrete(4)  # 0: noop, 1: left thruster, 2: main, 3: right
+    max_episode_steps = 400
+    #: Gym considers LunarLander solved at an average return of 200.
+    solve_threshold = 200.0
+
+    def _reset(self) -> np.ndarray:
+        self.x = self.rng.uniform(-0.3, 0.3)
+        self.y = 1.4
+        self.vx = self.rng.uniform(-0.2, 0.2)
+        self.vy = 0.0
+        self.angle = self.rng.uniform(-0.05, 0.05)
+        self.angular_velocity = 0.0
+        self.left_leg_contact = False
+        self.right_leg_contact = False
+        self._prev_shaping = self._shaping()
+        return self._observation()
+
+    def _observation(self) -> np.ndarray:
+        return np.array(
+            [
+                self.x,
+                self.y,
+                self.vx,
+                self.vy,
+                self.angle,
+                self.angular_velocity,
+                1.0 if self.left_leg_contact else 0.0,
+                1.0 if self.right_leg_contact else 0.0,
+            ],
+            dtype=np.float64,
+        )
+
+    def _shaping(self) -> float:
+        """Potential function matching gym's shaping terms."""
+        return (
+            -100.0 * math.sqrt(self.x ** 2 + self.y ** 2)
+            - 100.0 * math.sqrt(self.vx ** 2 + self.vy ** 2)
+            - 100.0 * abs(self.angle)
+            + 10.0 * (1.0 if self.left_leg_contact else 0.0)
+            + 10.0 * (1.0 if self.right_leg_contact else 0.0)
+        )
+
+    def _leg_heights(self) -> Tuple[float, float]:
+        """World-space heights of the two leg tips."""
+        sin_a = math.sin(self.angle)
+        left = self.y - self.LEG_SPREAD * sin_a
+        right = self.y + self.LEG_SPREAD * sin_a
+        return left, right
+
+    def _step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        fuel_cost = 0.0
+        ax = 0.0
+        ay = self.GRAVITY
+        torque = 0.0
+        if action == 2:  # main engine: thrust along the lander's axis
+            ax += -math.sin(self.angle) * self.MAIN_ENGINE_ACCEL
+            ay += math.cos(self.angle) * self.MAIN_ENGINE_ACCEL
+            fuel_cost = 0.30
+        elif action == 1:  # left thruster pushes right, rotates +.
+            ax += math.cos(self.angle) * self.SIDE_ENGINE_ACCEL
+            torque += self.SIDE_ENGINE_TORQUE
+            fuel_cost = 0.03
+        elif action == 3:  # right thruster pushes left, rotates -.
+            ax += -math.cos(self.angle) * self.SIDE_ENGINE_ACCEL
+            torque -= self.SIDE_ENGINE_TORQUE
+            fuel_cost = 0.03
+
+        # Semi-implicit Euler integration of the rigid body.
+        self.vx += ax * self.DT
+        self.vy += ay * self.DT
+        self.angular_velocity += torque * self.DT
+        self.angular_velocity *= 1.0 - self.ANGULAR_DAMPING
+        self.x += self.vx * self.DT
+        self.y += self.vy * self.DT
+        self.angle += self.angular_velocity * self.DT
+
+        left_h, right_h = self._leg_heights()
+        self.left_leg_contact = left_h <= 0.0
+        self.right_leg_contact = right_h <= 0.0
+
+        shaping = self._shaping()
+        reward = shaping - self._prev_shaping
+        self._prev_shaping = shaping
+        reward -= fuel_cost
+
+        done = False
+        touched_down = self.left_leg_contact and self.right_leg_contact
+        if touched_down or self.y <= 0.0:
+            done = True
+            soft = (
+                abs(self.vy) < 0.5
+                and abs(self.vx) < 0.5
+                and abs(self.angle) < 0.3
+                and abs(self.x) < 0.4
+            )
+            reward += 100.0 if (touched_down and soft) else -100.0
+        elif abs(self.x) > 1.5 or self.y > 2.0:
+            done = True
+            reward -= 100.0
+        return self._observation(), reward, done, {}

@@ -1,0 +1,25 @@
+"""Deterministic seeding helpers shared by all environments."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+def make_rng(seed: Optional[int] = None) -> random.Random:
+    """A fresh ``random.Random``; ``None`` seeds from entropy."""
+    return random.Random(seed)
+
+
+def derive_seed(base_seed: Optional[int], stream: int) -> Optional[int]:
+    """Derive an independent child seed (e.g. per-episode, per-genome).
+
+    Uses splitmix64-style mixing so nearby ``stream`` values give
+    decorrelated child seeds.
+    """
+    if base_seed is None:
+        return None
+    z = (base_seed + 0x9E3779B97F4A7C15 * (stream + 1)) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return (z ^ (z >> 31)) & 0x7FFFFFFF

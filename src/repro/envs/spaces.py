@@ -1,0 +1,143 @@
+"""Observation/action space descriptions (gym-compatible subset).
+
+Table I of the paper describes each environment by its observation and
+action spaces; these classes carry exactly that metadata plus sampling and
+containment checks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+
+class Space:
+    """Base class: a set of possible observations or actions."""
+
+    def sample(self, rng: random.Random):
+        raise NotImplementedError
+
+    def contains(self, value) -> bool:
+        raise NotImplementedError
+
+    @property
+    def flat_dim(self) -> int:
+        """Size of the flattened vector a NEAT network sees."""
+        raise NotImplementedError
+
+
+class Discrete(Space):
+    """Integers ``0 .. n-1`` (button presses, thruster selection, ...)."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("Discrete space needs n >= 1")
+        self.n = n
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randrange(self.n)
+
+    def contains(self, value) -> bool:
+        try:
+            ivalue = int(value)
+        except (TypeError, ValueError):
+            return False
+        return ivalue == value and 0 <= ivalue < self.n
+
+    @property
+    def flat_dim(self) -> int:
+        return self.n
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Discrete) and other.n == self.n
+
+    def __repr__(self) -> str:
+        return f"Discrete({self.n})"
+
+
+class Box(Space):
+    """A box in R^n with per-dimension bounds."""
+
+    def __init__(
+        self,
+        low: Union[float, Sequence[float]],
+        high: Union[float, Sequence[float]],
+        shape: Optional[Sequence[int]] = None,
+    ) -> None:
+        if shape is None:
+            low_arr = np.asarray(low, dtype=np.float64)
+            high_arr = np.asarray(high, dtype=np.float64)
+            if low_arr.shape != high_arr.shape:
+                raise ValueError("low/high shape mismatch")
+            shape = low_arr.shape
+        else:
+            shape = tuple(shape)
+            low_arr = np.full(shape, low, dtype=np.float64)
+            high_arr = np.full(shape, high, dtype=np.float64)
+        if np.any(low_arr > high_arr):
+            raise ValueError("Box requires low <= high elementwise")
+        self.low = low_arr
+        self.high = high_arr
+        self.shape = tuple(shape)
+
+    def sample(self, rng: random.Random) -> np.ndarray:
+        flat_low = self.low.ravel()
+        flat_high = self.high.ravel()
+        out = np.empty(flat_low.shape, dtype=np.float64)
+        for i, (lo, hi) in enumerate(zip(flat_low, flat_high)):
+            lo_s = max(lo, -1e6)
+            hi_s = min(hi, 1e6)
+            out[i] = rng.uniform(lo_s, hi_s)
+        return out.reshape(self.shape)
+
+    def contains(self, value) -> bool:
+        arr = np.asarray(value, dtype=np.float64)
+        if arr.shape != self.shape:
+            return False
+        return bool(np.all(arr >= self.low - 1e-9) and np.all(arr <= self.high + 1e-9))
+
+    @property
+    def flat_dim(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Box)
+            and other.shape == self.shape
+            and np.allclose(other.low, self.low)
+            and np.allclose(other.high, self.high)
+        )
+
+    def __repr__(self) -> str:
+        return f"Box(shape={self.shape})"
+
+
+class MultiBinary(Space):
+    """n independent binary values (e.g. the 128-byte RAM seen as bits)."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("MultiBinary space needs n >= 1")
+        self.n = n
+
+    def sample(self, rng: random.Random) -> List[int]:
+        return [rng.randrange(2) for _ in range(self.n)]
+
+    def contains(self, value) -> bool:
+        try:
+            values = list(value)
+        except TypeError:
+            return False
+        return len(values) == self.n and all(v in (0, 1) for v in values)
+
+    @property
+    def flat_dim(self) -> int:
+        return self.n
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MultiBinary) and other.n == self.n
+
+    def __repr__(self) -> str:
+        return f"MultiBinary({self.n})"

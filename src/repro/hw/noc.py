@@ -1,0 +1,102 @@
+"""Network-on-chip models for gene distribution and collection.
+
+Section IV-C4: "Our base design is separate high-bandwidth buses, one for
+the distribution and one for the collection.  However ... we also consider
+a tree-based network with multicast support and evaluate the savings in
+SRAM reads" (Fig. 11b).
+
+Both models answer the same question for each distribution cycle: given
+the set of (pe, parent_genome, word_index) demands in flight, how many
+SRAM reads are issued?
+
+* :class:`PointToPointNoC` — every consuming PE receives its own copy, so
+  every demand is one read.
+* :class:`MulticastTreeNoC` — PEs demanding the *same* genome word in the
+  same cycle are served by a single read multicast down the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: One in-flight demand: (pe_index, genome_id, word_index)
+Demand = Tuple[int, int, int]
+
+
+@dataclass
+class NoCStats:
+    cycles: int = 0
+    sram_reads: int = 0
+    genes_delivered: int = 0
+    multicast_hits: int = 0  # demands satisfied by sharing another PE's read
+
+    @property
+    def reads_per_cycle(self) -> float:
+        return self.sram_reads / self.cycles if self.cycles else 0.0
+
+    def merge(self, other: "NoCStats") -> None:
+        self.cycles += other.cycles
+        self.sram_reads += other.sram_reads
+        self.genes_delivered += other.genes_delivered
+        self.multicast_hits += other.multicast_hits
+
+
+class BaseNoC:
+    """Common interface: account one distribution cycle of demands."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.stats = NoCStats()
+
+    def distribute_cycle(self, demands: Sequence[Demand]) -> int:
+        """Account one cycle; returns SRAM reads issued this cycle."""
+        raise NotImplementedError
+
+    def reset_stats(self) -> NoCStats:
+        stats = self.stats
+        self.stats = NoCStats()
+        return stats
+
+
+class PointToPointNoC(BaseNoC):
+    """Dedicated bus per transfer: one SRAM read per consuming PE."""
+
+    name = "point-to-point"
+
+    def distribute_cycle(self, demands: Sequence[Demand]) -> int:
+        reads = len(demands)
+        self.stats.cycles += 1
+        self.stats.sram_reads += reads
+        self.stats.genes_delivered += len(demands)
+        return reads
+
+
+class MulticastTreeNoC(BaseNoC):
+    """Tree with multicast: one read per *distinct* genome word per cycle.
+
+    This is the genome-level-reuse (GLR) win: children sharing a parent
+    receive the same gene stream from a single read (Section III-D3).
+    """
+
+    name = "multicast-tree"
+
+    def distribute_cycle(self, demands: Sequence[Demand]) -> int:
+        distinct = {(genome_id, word_index) for _pe, genome_id, word_index in demands}
+        reads = len(distinct)
+        self.stats.cycles += 1
+        self.stats.sram_reads += reads
+        self.stats.genes_delivered += len(demands)
+        self.stats.multicast_hits += len(demands) - reads
+        return reads
+
+
+def make_noc(kind: str) -> BaseNoC:
+    """Factory: ``"p2p"`` / ``"multicast"`` (fuzzy on common spellings)."""
+    key = kind.lower().replace("-", "").replace("_", "").replace(" ", "")
+    if key in ("p2p", "pointtopoint", "bus"):
+        return PointToPointNoC()
+    if key in ("multicast", "multicasttree", "tree"):
+        return MulticastTreeNoC()
+    raise ValueError(f"unknown NoC kind {kind!r}; use 'p2p' or 'multicast'")

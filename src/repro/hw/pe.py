@@ -1,0 +1,309 @@
+"""EvE Processing Element: the 4-stage reproduction pipeline (Fig. 7).
+
+Each PE turns one aligned stream of parent gene pairs into one child gene
+stream, applying — in pipeline order —
+
+1. **Crossover engine**: per attribute, an 8-bit PRNG value is compared
+   against a programmable bias to pick parent 1 or parent 2's copy.
+2. **Perturbation engine**: per attribute, a perturbation probability
+   gates adding a small PRNG-derived delta, then "Limit & Quantize" clamps
+   back into the Q4.4 attribute range.
+3. **Delete Gene engine**: node deletions are gated by probability *and*
+   a previously-deleted-node-count threshold ("in order to keep the genome
+   alive"); deleted node ids are stored in the Node ID regs and matched
+   against later connection genes to prune danglers.
+4. **Add Gene engine**: node addition splits the incoming connection
+   (new node id = max seen + 1, two fresh connection genes, incoming
+   dropped); connection addition uses the paper's two-cycle scheme —
+   store the source of one connection, pair it with the destination of the
+   next.
+
+The PE is functional *and* cycle-accounted: it consumes one gene pair per
+cycle after a 2-cycle configuration load (Section IV-C5), plus the
+4-stage pipeline drain.
+
+Fidelity note: this is the hardware semantics, not a bit-identical replay
+of the software :meth:`Genome.mutate` — the PRNG, quantisation and
+structural-mutation mechanics are the hardware's own, exactly as the
+paper's EvE differs from neat-python.  Integration tests check the
+invariants (validity, orderedness) and that closed-loop evolution through
+the PE still learns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from .gene_encoding import (
+    FIXED_MAX,
+    FIXED_MIN,
+    GENE_TYPE_CONNECTION,
+    GENE_TYPE_NODE,
+    NODE_TYPE_HIDDEN,
+    PackedGene,
+    pack_connection,
+    pack_node,
+    quantize,
+)
+from .prng import XorWow
+
+PIPELINE_DEPTH = 4
+CONFIG_LOAD_CYCLES = 2  # "it takes 2 cycles to load the parents' fitness
+# values and other control information" (Section IV-C5)
+
+#: Default attribute values for genes minted by the Add Gene engine.
+DEFAULT_NODE_ACTIVATION = "tanh"
+DEFAULT_NODE_AGGREGATION = "sum"
+DEFAULT_CONN_WEIGHT = 1.0
+
+
+@dataclass
+class PEConfig:
+    """The programmable probability registers of Fig. 7 (8-bit compares)."""
+
+    crossover_bias: float = 0.5
+    perturb_prob: float = 0.25
+    node_delete_prob: float = 0.002
+    conn_delete_prob: float = 0.004
+    node_add_prob: float = 0.004
+    conn_add_prob: float = 0.01
+    max_node_deletions: int = 1
+    #: perturbation step: raw Q4.4 delta = signed PRNG byte >> this shift
+    perturb_shift: int = 3
+
+    def threshold(self, probability: float) -> int:
+        """Probability -> the 8-bit compare value the hardware uses."""
+        return max(0, min(256, int(round(probability * 256))))
+
+
+@dataclass
+class PEStats:
+    """Per-PE op counters (the hardware image of MutationCounts)."""
+
+    genes_in: int = 0
+    genes_out: int = 0
+    crossovers: int = 0
+    perturbations: int = 0
+    node_deletions: int = 0
+    conn_deletions: int = 0
+    dangling_prunes: int = 0
+    node_additions: int = 0
+    conn_additions: int = 0
+    busy_cycles: int = 0
+
+    def merge(self, other: "PEStats") -> None:
+        for attr in (
+            "genes_in",
+            "genes_out",
+            "crossovers",
+            "perturbations",
+            "node_deletions",
+            "conn_deletions",
+            "dangling_prunes",
+            "node_additions",
+            "conn_additions",
+            "busy_cycles",
+        ):
+            setattr(self, attr, getattr(self, attr) + getattr(other, attr))
+
+
+class ProcessingElement:
+    """One EvE PE.  Reusable: ``begin_child`` resets per-child state."""
+
+    def __init__(self, pe_index: int = 0, seed: int = 0) -> None:
+        self.pe_index = pe_index
+        self.prng = XorWow(seed=seed ^ (0xA5A5A5A5 + pe_index * 0x9E3779B9))
+        self.config = PEConfig()
+        self.stats = PEStats()
+        self._reset_child_state()
+
+    def _reset_child_state(self) -> None:
+        # The "Node ID regs" of Fig. 7: deleted ids, intermediate state,
+        # and the running max id.
+        self._deleted_nodes: Set[int] = set()
+        self._valid_nodes: Set[int] = set()
+        self._max_node_id = -1
+        self._nodes_deleted_count = 0
+        self._pending_conn_source: Optional[int] = None
+        self._fitness1 = 0.0
+        self._fitness2 = 0.0
+        self._cycles = 0
+
+    # ------------------------------------------------------------------
+
+    def begin_child(
+        self, config: PEConfig, fitness1: float, fitness2: float
+    ) -> None:
+        """Configuration load: 2 cycles of control information."""
+        self._reset_child_state()
+        self.config = config
+        self._fitness1 = fitness1
+        self._fitness2 = fitness2
+        self._cycles = CONFIG_LOAD_CYCLES
+
+    def process_pair(
+        self, gene1: Optional[PackedGene], gene2: Optional[PackedGene]
+    ) -> List[PackedGene]:
+        """Push one aligned parent gene pair through all four stages.
+
+        ``gene2 is None`` for disjoint/excess genes inherited from the
+        fitter parent.  Returns 0..3 child genes (deletion yields none;
+        node addition yields a node plus two connections).
+        """
+        if gene1 is None:
+            raise ValueError("gene1 must be present (fitter parent's stream)")
+        self._cycles += 1
+        self.stats.busy_cycles += 1
+        self.stats.genes_in += 1 if gene2 is None else 2
+
+        child = self._crossover_stage(gene1, gene2)
+        child = self._perturbation_stage(child)
+        kept = self._delete_stage(child)
+        if kept is None:
+            return []
+        produced = self._add_stage(kept)
+        self.stats.genes_out += len(produced)
+        return produced
+
+    def finish_child(self) -> int:
+        """Pipeline drain; returns total cycles spent on this child."""
+        self._cycles += PIPELINE_DEPTH
+        return self._cycles
+
+    @property
+    def cycles(self) -> int:
+        return self._cycles
+
+    # -- stage 1: crossover ------------------------------------------------
+
+    def _crossover_stage(
+        self, gene1: PackedGene, gene2: Optional[PackedGene]
+    ) -> PackedGene:
+        if gene2 is None:
+            return gene1
+        if gene1.key != gene2.key:
+            raise ValueError(
+                f"gene split misalignment: {gene1.key} vs {gene2.key}"
+            )
+        self.stats.crossovers += 1
+        bias = self.config.threshold(self.config.crossover_bias)
+
+        def pick() -> bool:
+            """True -> take parent 1's attribute."""
+            return self.prng.next_byte() < bias
+
+        if gene1.is_node:
+            return pack_node(
+                gene1.node_id,
+                gene1.node_type,
+                gene1.bias if pick() else gene2.bias,
+                gene1.response if pick() else gene2.response,
+                gene1.activation if pick() else gene2.activation,
+                gene1.aggregation if pick() else gene2.aggregation,
+            )
+        return pack_connection(
+            gene1.source,
+            gene1.dest,
+            gene1.weight if pick() else gene2.weight,
+            gene1.enabled if pick() else gene2.enabled,
+        )
+
+    # -- stage 2: perturbation ------------------------------------------------
+
+    def _perturb_value(self, value: float) -> Tuple[float, bool]:
+        threshold = self.config.threshold(self.config.perturb_prob)
+        if self.prng.next_byte() >= threshold:
+            return value, False
+        delta_raw = self.prng.next_signed_byte() >> self.config.perturb_shift
+        raw = quantize(value) + delta_raw
+        raw = max(FIXED_MIN, min(FIXED_MAX, raw))  # Limit & Quantize
+        return raw / 16.0, True
+
+    def _perturbation_stage(self, gene: PackedGene) -> PackedGene:
+        if gene.is_node:
+            bias, hit1 = self._perturb_value(gene.bias)
+            response, hit2 = self._perturb_value(gene.response)
+            self.stats.perturbations += int(hit1) + int(hit2)
+            if not (hit1 or hit2):
+                return gene
+            return pack_node(
+                gene.node_id, gene.node_type, bias, response,
+                gene.activation, gene.aggregation,
+            )
+        weight, hit = self._perturb_value(gene.weight)
+        if hit:
+            self.stats.perturbations += 1
+            return pack_connection(gene.source, gene.dest, weight, gene.enabled)
+        return gene
+
+    # -- stage 3: delete gene -----------------------------------------------------
+
+    def _delete_stage(self, gene: PackedGene) -> Optional[PackedGene]:
+        if gene.is_node:
+            threshold = self.config.threshold(self.config.node_delete_prob)
+            deletable = (
+                gene.node_type == NODE_TYPE_HIDDEN
+                and self._nodes_deleted_count < self.config.max_node_deletions
+            )
+            if deletable and self.prng.next_byte() < threshold:
+                self._deleted_nodes.add(gene.node_id)
+                self._nodes_deleted_count += 1
+                self.stats.node_deletions += 1
+                return None
+            self._valid_nodes.add(gene.node_id)
+            self._max_node_id = max(self._max_node_id, gene.node_id)
+            return gene
+        # Connection gene: dangling prune takes priority over random delete.
+        if gene.source in self._deleted_nodes or gene.dest in self._deleted_nodes:
+            self.stats.dangling_prunes += 1
+            return None
+        threshold = self.config.threshold(self.config.conn_delete_prob)
+        if self.prng.next_byte() < threshold:
+            self.stats.conn_deletions += 1
+            return None
+        return gene
+
+    # -- stage 4: add gene ---------------------------------------------------------
+
+    def _add_stage(self, gene: PackedGene) -> List[PackedGene]:
+        if gene.is_node:
+            return [gene]
+
+        # Node addition: split the incoming connection.
+        threshold = self.config.threshold(self.config.node_add_prob)
+        if self.prng.next_byte() < threshold:
+            new_id = self._max_node_id + 1
+            self._max_node_id = new_id
+            self._valid_nodes.add(new_id)
+            self.stats.node_additions += 1
+            node = pack_node(
+                new_id,
+                NODE_TYPE_HIDDEN,
+                0.0,
+                1.0,
+                DEFAULT_NODE_ACTIVATION,
+                DEFAULT_NODE_AGGREGATION,
+            )
+            upstream = pack_connection(gene.source, new_id, DEFAULT_CONN_WEIGHT, True)
+            downstream = pack_connection(new_id, gene.dest, gene.weight, True)
+            # The incoming connection gene is dropped (Section IV-C3).
+            return [node, upstream, downstream]
+
+        # Connection addition: the two-cycle store-source / pair-with-next-
+        # destination mechanism.
+        produced = [gene]
+        threshold = self.config.threshold(self.config.conn_add_prob)
+        if self._pending_conn_source is not None:
+            source = self._pending_conn_source
+            self._pending_conn_source = None
+            # inputs (negative ids) are always valid sources; hidden/output
+            # sources must not have been deleted upstream
+            source_valid = source < 0 or source in self._valid_nodes
+            if source != gene.dest and source_valid:
+                new_conn = pack_connection(source, gene.dest, DEFAULT_CONN_WEIGHT, True)
+                self.stats.conn_additions += 1
+                produced.append(new_conn)
+        elif self.prng.next_byte() < threshold:
+            self._pending_conn_source = gene.source
+        return produced

@@ -1,0 +1,73 @@
+"""Gene Selector: the software selection thread (Section IV-C4).
+
+"The selection logic in our design works in three steps.  First, the
+fitness values of the individuals in the present generation are read and
+adjusted to implement fitness sharing.  Next, the threshold is calculated
+using the adjusted fitness values.  Finally the parents for the next
+generation are chosen and the list of parents for the children is
+forwarded to the gene splitting logic.  This is handled by a software
+thread on the CPU."
+
+The selector reuses the NEAT speciation/stagnation/selection machinery so
+hardware and software runs select identically; what differs downstream is
+*who executes* the reproduction ops (EvE PEs vs Python genome methods).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..neat.config import NEATConfig
+from ..neat.genome import Genome
+from ..neat.innovation import InnovationTracker
+from ..neat.reproduction import Reproduction, ReproductionPlan
+from ..neat.species import SpeciesSet
+from .sram import GenomeBuffer
+
+
+@dataclass
+class SelectionOutcome:
+    plan: Optional[ReproductionPlan]
+    num_species: int
+    cpu_cycles: int
+
+
+class GeneSelector:
+    """CPU-side selection: fitness sharing -> threshold -> parent list."""
+
+    #: modelled M0 cycles per fitness-sharing adjustment / comparison
+    CYCLES_PER_GENOME = 40
+
+    def __init__(self, config: NEATConfig, seed: int = 0) -> None:
+        self.config = config
+        self.rng = random.Random(seed)
+        self.innovations = InnovationTracker(next_node_id=config.genome.num_outputs)
+        self.reproduction = Reproduction(config, self.innovations)
+        self.species_set = SpeciesSet(config)
+
+    def select(
+        self,
+        population: Dict[int, Genome],
+        buffer: GenomeBuffer,
+        generation: int,
+    ) -> SelectionOutcome:
+        """Step 7 of the walkthrough, producing the parent/child list.
+
+        ``population`` is the decoded view of the genomes resident in the
+        buffer (the CPU keeps this bookkeeping); fitness values are read
+        from the buffer where step 6 augmented them.
+        """
+        for key, genome in population.items():
+            genome.fitness = buffer.get_fitness(key)
+        self.species_set.speciate(population, generation)
+        self.species_set.adjust_fitnesses(generation)
+        self.innovations.new_generation()
+        plan = self.reproduction.plan_generation(
+            self.species_set, generation, self.rng
+        )
+        cpu_cycles = len(population) * self.CYCLES_PER_GENOME
+        return SelectionOutcome(
+            plan=plan, num_species=len(self.species_set), cpu_cycles=cpu_cycles
+        )

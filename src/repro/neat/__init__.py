@@ -1,0 +1,92 @@
+"""From-scratch NEAT (NeuroEvolution of Augmenting Topologies).
+
+The learning-algorithm substrate of the GeneSys reproduction: genes,
+genomes, speciation with fitness sharing, reproduction, and feed-forward
+phenotype evaluation, instrumented so every figure in the paper's
+characterisation (Figs. 4-5, 11a) can be regenerated.
+"""
+
+from .activations import ACTIVATION_CODES, ACTIVATION_NAMES, ActivationFunctionSet
+from .backprop import (
+    DifferentiableNetwork,
+    TrainResult,
+    UntrainableGenomeError,
+    finetune_genome,
+)
+from .hyperneat import (
+    CPPN_ACTIVATIONS,
+    HyperNEATDecoder,
+    Substrate,
+    SubstrateNode,
+    cppn_config,
+    evolve_hyperneat,
+)
+from .aggregations import AGGREGATION_CODES, AGGREGATION_NAMES, AggregationFunctionSet
+from .config import (
+    ConfigError,
+    GenomeConfig,
+    NEATConfig,
+    ReproductionConfig,
+    SpeciesConfig,
+)
+from .genes import BaseGene, ConnectionGene, NodeGene, gene_sort_key, sorted_genes
+from .genome import Genome, MutationCounts, creates_cycle
+from .innovation import InnovationTracker
+from .serialize import (
+    DeserializationError,
+    genome_from_dict,
+    genome_to_dict,
+    load_genome,
+    load_genome_with_config,
+    load_population,
+    save_genome,
+    save_population,
+)
+from .network import FeedForwardNetwork, feed_forward_layers, required_for_output
+from .population import Population
+from .reproduction import (
+    CompleteExtinctionError,
+    Reproduction,
+    ReproductionEvent,
+    ReproductionPlan,
+)
+from .species import Species, SpeciesSet
+from .stagnation import Stagnation
+from .statistics import GENE_BYTES, GenerationStats, StatisticsReporter
+
+__all__ = [
+    "ACTIVATION_CODES",
+    "ACTIVATION_NAMES",
+    "ActivationFunctionSet",
+    "AGGREGATION_CODES",
+    "AGGREGATION_NAMES",
+    "AggregationFunctionSet",
+    "BaseGene",
+    "CompleteExtinctionError",
+    "ConfigError",
+    "ConnectionGene",
+    "FeedForwardNetwork",
+    "GENE_BYTES",
+    "GenerationStats",
+    "Genome",
+    "GenomeConfig",
+    "InnovationTracker",
+    "MutationCounts",
+    "NEATConfig",
+    "NodeGene",
+    "Population",
+    "Reproduction",
+    "ReproductionConfig",
+    "ReproductionEvent",
+    "ReproductionPlan",
+    "Species",
+    "SpeciesConfig",
+    "SpeciesSet",
+    "Stagnation",
+    "StatisticsReporter",
+    "creates_cycle",
+    "feed_forward_layers",
+    "gene_sort_key",
+    "required_for_output",
+    "sorted_genes",
+]

@@ -1,0 +1,158 @@
+"""Activation functions for NEAT node genes.
+
+NEAT node genes carry an ``activation`` attribute (Section II-D of the
+paper; Fig. 6 reserves a gene field for it).  The registry below mirrors
+the set shipped by neat-python, which the paper used as its software
+baseline.  All functions are scalar ``float -> float`` and are clamped to
+avoid overflow, since evolved networks routinely produce large pre-
+activation sums before weights are tuned.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterator
+
+ActivationFunction = Callable[[float], float]
+
+
+def sigmoid_activation(z: float) -> float:
+    """Steepened logistic sigmoid used by stock NEAT (slope 4.9 in [6])."""
+    z = max(-60.0, min(60.0, 5.0 * z))
+    return 1.0 / (1.0 + math.exp(-z))
+
+
+def tanh_activation(z: float) -> float:
+    z = max(-60.0, min(60.0, 2.5 * z))
+    return math.tanh(z)
+
+
+def sin_activation(z: float) -> float:
+    z = max(-60.0, min(60.0, 5.0 * z))
+    return math.sin(z)
+
+
+def gauss_activation(z: float) -> float:
+    z = max(-3.4, min(3.4, z))
+    return math.exp(-5.0 * z * z)
+
+
+def relu_activation(z: float) -> float:
+    return z if z > 0.0 else 0.0
+
+
+def elu_activation(z: float) -> float:
+    return z if z > 0.0 else math.exp(max(-60.0, z)) - 1.0
+
+def leaky_relu_activation(z: float) -> float:
+    return z if z > 0.0 else 0.005 * z
+
+
+def identity_activation(z: float) -> float:
+    return z
+
+
+def clamped_activation(z: float) -> float:
+    return max(-1.0, min(1.0, z))
+
+
+def inv_activation(z: float) -> float:
+    if abs(z) < 1e-7:
+        return 0.0
+    return 1.0 / z
+
+
+def log_activation(z: float) -> float:
+    return math.log(max(1e-7, z))
+
+
+def exp_activation(z: float) -> float:
+    z = max(-60.0, min(60.0, z))
+    return math.exp(z)
+
+
+def abs_activation(z: float) -> float:
+    return abs(z)
+
+
+def hat_activation(z: float) -> float:
+    return max(0.0, 1.0 - abs(z))
+
+
+def square_activation(z: float) -> float:
+    z = max(-1e8, min(1e8, z))
+    return z * z
+
+
+def cube_activation(z: float) -> float:
+    z = max(-1e6, min(1e6, z))
+    return z * z * z
+
+
+class InvalidActivationError(KeyError):
+    """Raised when a genome references an unregistered activation."""
+
+
+class ActivationFunctionSet:
+    """Registry mapping activation names to callables.
+
+    A mutable registry (rather than a module-level dict) lets users extend
+    NEAT with custom activations without monkey-patching, matching the
+    extension point neat-python exposes.
+    """
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, ActivationFunction] = {}
+        for name, fn in _BUILTINS.items():
+            self.add(name, fn)
+
+    def add(self, name: str, function: ActivationFunction) -> None:
+        if not callable(function):
+            raise TypeError(f"activation {name!r} is not callable")
+        self._functions[name] = function
+
+    def get(self, name: str) -> ActivationFunction:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise InvalidActivationError(
+                f"unknown activation {name!r}; known: {sorted(self._functions)}"
+            ) from None
+
+    def is_valid(self, name: str) -> bool:
+        return name in self._functions
+
+    def names(self) -> Iterator[str]:
+        return iter(sorted(self._functions))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+
+_BUILTINS: Dict[str, ActivationFunction] = {
+    "sigmoid": sigmoid_activation,
+    "tanh": tanh_activation,
+    "sin": sin_activation,
+    "gauss": gauss_activation,
+    "relu": relu_activation,
+    "elu": elu_activation,
+    "lelu": leaky_relu_activation,
+    "identity": identity_activation,
+    "clamped": clamped_activation,
+    "inv": inv_activation,
+    "log": log_activation,
+    "exp": exp_activation,
+    "abs": abs_activation,
+    "hat": hat_activation,
+    "square": square_activation,
+    "cube": cube_activation,
+}
+
+#: Stable integer codes for the hardware gene encoding (Fig. 6 reserves an
+#: "Activation" attribute field in the 64-bit node gene).  Order must never
+#: change once genomes have been serialised to hardware words.
+ACTIVATION_CODES: Dict[str, int] = {name: i for i, name in enumerate(sorted(_BUILTINS))}
+ACTIVATION_NAMES: Dict[int, str] = {i: name for name, i in ACTIVATION_CODES.items()}

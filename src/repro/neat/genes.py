@@ -1,0 +1,259 @@
+"""Node and connection genes.
+
+"The basic building block in NEAT is a gene, which can represent either a
+NN node (i.e., neuron), or a connection (i.e., synapse)" (Section II-D).
+Node genes carry four attributes {Bias, Response, Activation, Aggregation}
+and connection genes carry {Weight, Enabled} plus their (source, dest) key
+— exactly the fields the paper's 64-bit hardware gene word packs (Fig. 6).
+
+The crossover/mutation entry points on these classes are the software
+reference the EvE PE pipeline model (:mod:`repro.hw.pe`) is validated
+against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple, Union
+
+from .config import GenomeConfig
+
+GeneKey = Union[int, Tuple[int, int]]
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, value))
+
+
+class BaseGene:
+    """Shared crossover/copy machinery for node and connection genes.
+
+    Subclasses declare ``_float_attrs`` (perturbable scalar attributes) and
+    ``_other_attrs`` (categorical / boolean attributes).
+    """
+
+    _float_attrs: Tuple[str, ...] = ()
+    _other_attrs: Tuple[str, ...] = ()
+
+    key: GeneKey
+
+    def copy(self):
+        raise NotImplementedError
+
+    def crossover(self, other: "BaseGene", rng: random.Random, bias: float = 0.5):
+        """Create a child gene by cherry-picking attributes from two parents.
+
+        Implements the paper's crossover op: "Create a new gene by picking
+        up attributes from parent genes based on relative fitness of
+        parents" (Fig. 3d).  ``bias`` is the programmable preference for
+        ``self`` (the fitter parent), default 0.5 as in the EvE crossover
+        engine (Fig. 7).
+        """
+        if self.key != other.key:
+            raise ValueError(
+                f"crossover requires homologous genes; got keys {self.key} and {other.key}"
+            )
+        child = self.copy()
+        for attr in self._float_attrs + self._other_attrs:
+            if rng.random() >= bias:
+                setattr(child, attr, getattr(other, attr))
+        return child
+
+    def distance(self, other: "BaseGene", config: GenomeConfig) -> float:
+        """Attribute distance used in the compatibility metric."""
+        d = 0.0
+        for attr in self._float_attrs:
+            d += abs(getattr(self, attr) - getattr(other, attr))
+        for attr in self._other_attrs:
+            if getattr(self, attr) != getattr(other, attr):
+                d += 1.0
+        return d * config.compatibility_weight_coefficient
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, type(self)):
+            return NotImplemented
+        attrs = ("key",) + self._float_attrs + self._other_attrs
+        return all(getattr(self, a) == getattr(other, a) for a in attrs)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.key))
+
+
+class NodeGene(BaseGene):
+    """A neuron: key is a single integer node id.
+
+    Input nodes (negative ids) are implicit in this implementation — as in
+    neat-python, only hidden and output nodes own ``NodeGene`` objects.
+    """
+
+    _float_attrs = ("bias", "response")
+    _other_attrs = ("activation", "aggregation")
+
+    def __init__(
+        self,
+        key: int,
+        bias: float = 0.0,
+        response: float = 1.0,
+        activation: str = "tanh",
+        aggregation: str = "sum",
+    ) -> None:
+        if isinstance(key, tuple):
+            raise TypeError("NodeGene key must be an int node id")
+        self.key = key
+        self.bias = bias
+        self.response = response
+        self.activation = activation
+        self.aggregation = aggregation
+
+    @classmethod
+    def random_init(cls, key: int, config: GenomeConfig, rng: random.Random) -> "NodeGene":
+        bias = _clamp(
+            rng.gauss(config.bias_init_mean, config.bias_init_stdev),
+            config.bias_min_value,
+            config.bias_max_value,
+        )
+        response = _clamp(
+            rng.gauss(config.response_init_mean, config.response_init_stdev),
+            config.response_min_value,
+            config.response_max_value,
+        )
+        return cls(
+            key,
+            bias=bias,
+            response=response,
+            activation=config.activation_default,
+            aggregation=config.aggregation_default,
+        )
+
+    def copy(self) -> "NodeGene":
+        return NodeGene(self.key, self.bias, self.response, self.activation, self.aggregation)
+
+    def mutate(self, config: GenomeConfig, rng: random.Random) -> int:
+        """Perturb attributes in place; returns the number of perturbations.
+
+        This is the "Mutation: Perturb" op of Fig. 3(d): "Change the
+        attributes of the child gene by perturbing the values by small
+        amounts."
+        """
+        count = 0
+        for attr in ("bias", "response"):
+            rate = getattr(config, f"{attr}_mutate_rate")
+            replace = getattr(config, f"{attr}_replace_rate")
+            r = rng.random()
+            if r < rate:
+                power = getattr(config, f"{attr}_mutate_power")
+                value = getattr(self, attr) + rng.gauss(0.0, power)
+                setattr(
+                    self,
+                    attr,
+                    _clamp(
+                        value,
+                        getattr(config, f"{attr}_min_value"),
+                        getattr(config, f"{attr}_max_value"),
+                    ),
+                )
+                count += 1
+            elif r < rate + replace:
+                setattr(
+                    self,
+                    attr,
+                    _clamp(
+                        rng.gauss(
+                            getattr(config, f"{attr}_init_mean"),
+                            getattr(config, f"{attr}_init_stdev"),
+                        ),
+                        getattr(config, f"{attr}_min_value"),
+                        getattr(config, f"{attr}_max_value"),
+                    ),
+                )
+                count += 1
+        if config.activation_options and rng.random() < config.activation_mutate_rate:
+            self.activation = rng.choice(config.activation_options)
+            count += 1
+        if config.aggregation_options and rng.random() < config.aggregation_mutate_rate:
+            self.aggregation = rng.choice(config.aggregation_options)
+            count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeGene(key={self.key}, bias={self.bias:.3f}, response={self.response:.3f}, "
+            f"activation={self.activation!r}, aggregation={self.aggregation!r})"
+        )
+
+
+class ConnectionGene(BaseGene):
+    """A synapse: key is the (source_id, dest_id) node pair (Fig. 6)."""
+
+    _float_attrs = ("weight",)
+    _other_attrs = ("enabled",)
+
+    def __init__(self, key: Tuple[int, int], weight: float = 0.0, enabled: bool = True) -> None:
+        if not (isinstance(key, tuple) and len(key) == 2):
+            raise TypeError("ConnectionGene key must be a (source, dest) tuple")
+        self.key = key
+        self.weight = weight
+        self.enabled = enabled
+
+    @property
+    def source(self) -> int:
+        return self.key[0]
+
+    @property
+    def dest(self) -> int:
+        return self.key[1]
+
+    @classmethod
+    def random_init(
+        cls, key: Tuple[int, int], config: GenomeConfig, rng: random.Random
+    ) -> "ConnectionGene":
+        weight = _clamp(
+            rng.gauss(config.weight_init_mean, config.weight_init_stdev),
+            config.weight_min_value,
+            config.weight_max_value,
+        )
+        return cls(key, weight=weight, enabled=True)
+
+    def copy(self) -> "ConnectionGene":
+        return ConnectionGene(self.key, self.weight, self.enabled)
+
+    def mutate(self, config: GenomeConfig, rng: random.Random) -> int:
+        """Perturb the weight / toggle enabled in place; returns op count."""
+        count = 0
+        r = rng.random()
+        if r < config.weight_mutate_rate:
+            self.weight = _clamp(
+                self.weight + rng.gauss(0.0, config.weight_mutate_power),
+                config.weight_min_value,
+                config.weight_max_value,
+            )
+            count += 1
+        elif r < config.weight_mutate_rate + config.weight_replace_rate:
+            self.weight = _clamp(
+                rng.gauss(config.weight_init_mean, config.weight_init_stdev),
+                config.weight_min_value,
+                config.weight_max_value,
+            )
+            count += 1
+        if rng.random() < config.enabled_mutate_rate:
+            self.enabled = not self.enabled
+            count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return f"ConnectionGene(key={self.key}, weight={self.weight:.3f}, enabled={self.enabled})"
+
+
+def gene_sort_key(gene: BaseGene) -> Tuple:
+    """Canonical in-memory ordering (Section IV-C5 "Genome organization"):
+
+    genes are stored in two logical clusters (nodes first, then
+    connections), each sorted ascending by id.
+    """
+    if isinstance(gene, NodeGene):
+        return (0, gene.key)
+    return (1, gene.key)
+
+
+def sorted_genes(genes: List[BaseGene]) -> List[BaseGene]:
+    return sorted(genes, key=gene_sort_key)

@@ -1,0 +1,122 @@
+"""The NEAT outer loop (Fig. 3(b)).
+
+Generate initial population -> evaluate fitness -> check completion ->
+reproduce -> repeat.  The population object is deliberately agnostic to
+*how* fitness is computed: callers hand in a fitness function (software
+network inference, or the full hardware-in-the-loop path through
+:mod:`repro.core.runner`), matching the paper's framing where only the
+fitness function changes between workloads (Section III-B).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from .config import NEATConfig
+from .genome import Genome
+from .innovation import InnovationTracker
+from .reproduction import Reproduction, ReproductionPlan
+from .species import SpeciesSet
+from .statistics import GenerationStats, StatisticsReporter
+
+FitnessFunction = Callable[[List[Genome], NEATConfig], None]
+
+
+class Population:
+    """Runs NEAT for a given config and fitness function."""
+
+    def __init__(self, config: NEATConfig, seed: Optional[int] = None) -> None:
+        self.config = config
+        self.rng = random.Random(seed)
+        self.innovations = InnovationTracker(next_node_id=config.genome.num_outputs)
+        self.reproduction = Reproduction(config, self.innovations)
+        self.species_set = SpeciesSet(config)
+        self.statistics = StatisticsReporter()
+        self.generation = 0
+        self.population: Dict[int, Genome] = self.reproduction.create_initial_population(
+            self.rng
+        )
+        self.species_set.speciate(self.population, self.generation)
+        self.best_genome: Optional[Genome] = None
+        self.last_plan: Optional[ReproductionPlan] = None
+
+    # ------------------------------------------------------------------
+
+    def _fitness_summary(self) -> float:
+        fitnesses = [
+            g.fitness for g in self.population.values() if g.fitness is not None
+        ]
+        if not fitnesses:
+            return float("-inf")
+        criterion = self.config.fitness_criterion
+        if criterion == "max":
+            return max(fitnesses)
+        if criterion == "min":
+            return min(fitnesses)
+        return sum(fitnesses) / len(fitnesses)
+
+    def run_generation(self, fitness_function: FitnessFunction) -> GenerationStats:
+        """Evaluate the current population and breed the next one."""
+        genomes = list(self.population.values())
+        fitness_function(genomes, self.config)
+        missing = [g.key for g in genomes if g.fitness is None]
+        if missing:
+            raise RuntimeError(
+                f"fitness function left genomes unevaluated: {missing[:5]}"
+            )
+
+        best = max(self.population.values(), key=lambda g: g.fitness)
+        if (
+            self.best_genome is None
+            or self.best_genome.fitness is None
+            or best.fitness > self.best_genome.fitness
+        ):
+            self.best_genome = best.copy()
+
+        self.species_set.adjust_fitnesses(self.generation)
+        stats = self.statistics.record(
+            self.generation, self.population, len(self.species_set), self.last_plan
+        )
+
+        self.innovations.new_generation()
+        new_population, plan = self.reproduction.reproduce(
+            self.species_set, self.generation, self.rng
+        )
+        self.last_plan = plan
+        self.population = new_population
+        self.generation += 1
+        self.species_set.speciate(self.population, self.generation)
+        return stats
+
+    def run(
+        self,
+        fitness_function: FitnessFunction,
+        max_generations: int = 100,
+        fitness_threshold: Optional[float] = None,
+    ) -> Genome:
+        """Run until the fitness threshold is met or the budget expires.
+
+        Returns the best genome observed (the paper's stop criterion:
+        "The system stops when the CPU detects that the target fitness for
+        that application has been achieved", Section IV-B).
+        """
+        threshold = (
+            fitness_threshold
+            if fitness_threshold is not None
+            else self.config.fitness_threshold
+        )
+        for _ in range(max_generations):
+            self.run_generation(fitness_function)
+            if threshold is not None and self._fitness_summary() >= threshold:
+                break
+        if self.best_genome is None:
+            raise RuntimeError("no generations were evaluated")
+        return self.best_genome
+
+    @property
+    def converged(self) -> bool:
+        threshold = self.config.fitness_threshold
+        if threshold is None or self.best_genome is None:
+            return False
+        return (self.best_genome.fitness or float("-inf")) >= threshold

@@ -1,0 +1,131 @@
+"""Genome and run checkpointing (JSON).
+
+Lets a downstream user persist evolved champions, reload them for
+inference or hardware encoding, and checkpoint/resume long runs — the
+"continuous learning" deployments the paper targets need exactly this
+(an agent's learned state must survive power cycles).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .config import GenomeConfig, NEATConfig
+from .genes import ConnectionGene, NodeGene
+from .genome import Genome
+
+FORMAT_VERSION = 1
+
+
+class DeserializationError(ValueError):
+    """Raised when a checkpoint file is malformed or incompatible."""
+
+
+def genome_to_dict(genome: Genome) -> Dict[str, Any]:
+    return {
+        "format": FORMAT_VERSION,
+        "key": genome.key,
+        "fitness": genome.fitness,
+        "nodes": [
+            {
+                "key": node.key,
+                "bias": node.bias,
+                "response": node.response,
+                "activation": node.activation,
+                "aggregation": node.aggregation,
+            }
+            for node in genome.nodes.values()
+        ],
+        "connections": [
+            {
+                "source": conn.source,
+                "dest": conn.dest,
+                "weight": conn.weight,
+                "enabled": conn.enabled,
+            }
+            for conn in genome.connections.values()
+        ],
+    }
+
+
+def genome_from_dict(data: Dict[str, Any]) -> Genome:
+    try:
+        version = data["format"]
+        if version != FORMAT_VERSION:
+            raise DeserializationError(f"unsupported format version {version}")
+        genome = Genome(int(data["key"]))
+        genome.fitness = data.get("fitness")
+        for node in data["nodes"]:
+            genome.nodes[int(node["key"])] = NodeGene(
+                int(node["key"]),
+                bias=float(node["bias"]),
+                response=float(node["response"]),
+                activation=str(node["activation"]),
+                aggregation=str(node["aggregation"]),
+            )
+        for conn in data["connections"]:
+            key = (int(conn["source"]), int(conn["dest"]))
+            genome.connections[key] = ConnectionGene(
+                key, weight=float(conn["weight"]), enabled=bool(conn["enabled"])
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, DeserializationError):
+            raise
+        raise DeserializationError(f"malformed genome payload: {exc}") from exc
+    return genome
+
+
+def save_genome(genome: Genome, path: Union[str, Path],
+                config: Optional[NEATConfig] = None) -> None:
+    """Write a genome (optionally with its NEAT config) to a JSON file."""
+    payload: Dict[str, Any] = {"genome": genome_to_dict(genome)}
+    if config is not None:
+        payload["config"] = config.to_dict()
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_genome(path: Union[str, Path]) -> Genome:
+    payload = _read(path)
+    if "genome" not in payload:
+        raise DeserializationError("file does not contain a genome")
+    return genome_from_dict(payload["genome"])
+
+
+def load_genome_with_config(path: Union[str, Path]):
+    payload = _read(path)
+    if "genome" not in payload or "config" not in payload:
+        raise DeserializationError("file lacks genome and/or config")
+    return genome_from_dict(payload["genome"]), NEATConfig.from_dict(payload["config"])
+
+
+def save_population(
+    genomes: List[Genome], path: Union[str, Path], generation: int = 0,
+    config: Optional[NEATConfig] = None,
+) -> None:
+    """Checkpoint a whole generation."""
+    payload: Dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "generation": generation,
+        "genomes": [genome_to_dict(g) for g in genomes],
+    }
+    if config is not None:
+        payload["config"] = config.to_dict()
+    Path(path).write_text(json.dumps(payload, sort_keys=True))
+
+
+def load_population(path: Union[str, Path]):
+    """Returns (genomes, generation)."""
+    payload = _read(path)
+    if "genomes" not in payload:
+        raise DeserializationError("file does not contain a population")
+    genomes = [genome_from_dict(g) for g in payload["genomes"]]
+    return genomes, int(payload.get("generation", 0))
+
+
+def _read(path: Union[str, Path]) -> Dict[str, Any]:
+    try:
+        return json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise DeserializationError(f"not valid JSON: {exc}") from exc

@@ -1,0 +1,44 @@
+"""Species stagnation tracking.
+
+Species that fail to improve their best fitness for ``max_stagnation``
+generations are marked stagnant and removed from reproduction, except the
+``species_elitism`` best species which are always protected — without this
+guard a single hard environment can drive the whole population extinct.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .config import NEATConfig
+from .species import Species, SpeciesSet
+
+
+class Stagnation:
+    def __init__(self, config: NEATConfig) -> None:
+        self.config = config
+
+    def update(
+        self, species_set: SpeciesSet, generation: int
+    ) -> List[Tuple[int, Species, bool]]:
+        """Return (species_key, species, is_stagnant) for every species."""
+        species_cfg = self.config.species
+        scored: List[Tuple[int, Species]] = []
+        for key, species in species_set.species.items():
+            if species.fitness_history:
+                previous_best = max(species.fitness_history[:-1], default=float("-inf"))
+                current = species.fitness_history[-1]
+                if current > previous_best:
+                    species.last_improved = generation
+            scored.append((key, species))
+
+        # Rank by current fitness so elitism protects the best species.
+        scored.sort(key=lambda item: item[1].fitness or float("-inf"), reverse=True)
+        results: List[Tuple[int, Species, bool]] = []
+        for rank, (key, species) in enumerate(scored):
+            stagnant_time = generation - species.last_improved
+            is_stagnant = stagnant_time >= species_cfg.max_stagnation
+            if rank < species_cfg.species_elitism:
+                is_stagnant = False
+            results.append((key, species, is_stagnant))
+        return results

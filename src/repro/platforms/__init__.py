@@ -1,0 +1,78 @@
+"""Platform models for the Fig. 9/10 evaluation (Table III)."""
+
+from typing import Dict, List
+
+from .base import PhaseCost, Platform
+from .cpu import (
+    A57_PARAMS,
+    CPUParams,
+    CPUPlatform,
+    I7_PARAMS,
+    PLP_INFERENCE_SPEEDUP,
+    cpu_a,
+    cpu_b,
+    cpu_c,
+    cpu_d,
+)
+from .genesys import ONCHIP_TRANSFER_FRACTION, GenesysPlatform, genesys
+from .gpu import GPUParams, GPUPlatform, GTX1080_PARAMS, TEGRA_PARAMS, gpu_a, gpu_b, gpu_c, gpu_d
+from .memory_model import footprint_comparison, footprint_ratios
+
+_FACTORIES = {
+    "CPU_a": cpu_a,
+    "CPU_b": cpu_b,
+    "CPU_c": cpu_c,
+    "CPU_d": cpu_d,
+    "GPU_a": gpu_a,
+    "GPU_b": gpu_b,
+    "GPU_c": gpu_c,
+    "GPU_d": gpu_d,
+    "GENESYS": genesys,
+}
+
+
+def make_platform(name: str) -> Platform:
+    """Instantiate a Table III platform by its legend name."""
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown platform {name!r}; known: {sorted(_FACTORIES)}")
+    return _FACTORIES[name]()
+
+
+def all_platforms() -> List[Platform]:
+    return [factory() for factory in _FACTORIES.values()]
+
+
+def table3() -> List[Dict[str, str]]:
+    """Rows of Table III (target system configurations)."""
+    return [platform.table3_row() for platform in all_platforms()]
+
+
+__all__ = [
+    "A57_PARAMS",
+    "CPUParams",
+    "CPUPlatform",
+    "GPUParams",
+    "GPUPlatform",
+    "GTX1080_PARAMS",
+    "GenesysPlatform",
+    "I7_PARAMS",
+    "ONCHIP_TRANSFER_FRACTION",
+    "PLP_INFERENCE_SPEEDUP",
+    "PhaseCost",
+    "Platform",
+    "TEGRA_PARAMS",
+    "all_platforms",
+    "cpu_a",
+    "cpu_b",
+    "cpu_c",
+    "cpu_d",
+    "footprint_comparison",
+    "footprint_ratios",
+    "genesys",
+    "gpu_a",
+    "gpu_b",
+    "gpu_c",
+    "gpu_d",
+    "make_platform",
+    "table3",
+]

@@ -1,0 +1,111 @@
+"""GENESYS platform model: the SoC as a Table III row.
+
+Analytical counterpart of the cycle-level simulators in :mod:`repro.hw`,
+so the Fig. 9/10 platform sweeps can run from workload aggregates alone.
+Inference exploits PLP by batching the population's vertex updates per
+environment step onto the 32x32 array; evolution exploits PLP + GLP by
+spreading children over the EvE PEs in waves.
+
+Energy is built from the same per-op constants as the detailed model
+(:mod:`repro.hw.energy`): MAC energy for ADAM, PE-cycle energy for EvE,
+SRAM word energy for genome traffic, plus the always-on SRAM+M0 share of
+the roofline power for the active window.  On-chip staging (genome buffer
+to/from the engines) accounts for ~15 % of runtime, matching Fig. 10(c).
+"""
+
+from __future__ import annotations
+
+from ..core.trace import GenerationWorkload
+from ..hw.energy import (
+    ADAM_MAC_ENERGY_PJ,
+    EVE_OP_ENERGY_PJ,
+    FREQUENCY_HZ,
+    PAPER_TOTAL_POWER_MW,
+    SRAM_ACCESS_ENERGY_PJ,
+)
+from ..neat.statistics import GENE_BYTES
+from .base import PhaseCost, Platform
+
+#: fraction of runtime spent staging data between SRAM and the engines
+ONCHIP_TRANSFER_FRACTION = 0.15
+#: The paper's power methodology is measured chip power x time; we use the
+#: roofline power (947.5 mW, Section V) for the active window, which is
+#: deliberately pessimistic for GENESYS ("actual power will be much lower").
+_ACTIVE_POWER_W = PAPER_TOTAL_POWER_MW / 1e3
+
+
+class GenesysPlatform(Platform):
+    name = "GENESYS"
+    inference_strategy = "PLP"
+    evolution_strategy = "PLP + GLP"
+    platform_desc = "GENESYS"
+
+    def __init__(
+        self,
+        num_eve_pes: int = 256,
+        adam_rows: int = 32,
+        adam_cols: int = 32,
+        frequency_hz: float = FREQUENCY_HZ,
+    ) -> None:
+        self.num_eve_pes = num_eve_pes
+        self.adam_rows = adam_rows
+        self.adam_cols = adam_cols
+        self.frequency_hz = frequency_hz
+
+    # -- inference ------------------------------------------------------
+
+    def inference_cost(self, workload: GenerationWorkload) -> PhaseCost:
+        depth = max(1.0, workload.mean_network_depth)
+        mean_steps = workload.env_steps / max(1, workload.population)
+        num_macs = self.adam_rows * self.adam_cols
+        fill_drain = self.adam_rows + self.adam_cols
+        # Population-batched waves: each episode step fires `depth` packed
+        # matrix-vector products covering all genomes' ready vertices.
+        array_cycles = (
+            workload.inference_macs / num_macs + mean_steps * depth * fill_drain
+        )
+        vectorize_cycles = mean_steps * depth * self.adam_cols  # CPU packing
+        cycles = array_cycles + vectorize_cycles
+        compute = cycles / self.frequency_hz
+        # staging is the Fig. 10(c) share of *total* runtime
+        transfer = compute * ONCHIP_TRANSFER_FRACTION / (1 - ONCHIP_TRANSFER_FRACTION)
+        runtime = compute + transfer
+        energy = (
+            workload.inference_macs * ADAM_MAC_ENERGY_PJ * 1e-12
+            + runtime * _ACTIVE_POWER_W
+        )
+        return PhaseCost(runtime_s=runtime, energy_j=energy, transfer_s=transfer)
+
+    # -- evolution --------------------------------------------------------
+
+    def evolution_cost(self, workload: GenerationWorkload) -> PhaseCost:
+        mean_genes = workload.mean_genome_genes
+        children = max(1, workload.population)
+        waves = -(-children // self.num_eve_pes)  # ceil
+        # One gene pair per cycle per PE, 2-cycle config + 4-stage drain.
+        cycles = waves * (mean_genes + 6)
+        compute = cycles / self.frequency_hz
+        transfer = compute * ONCHIP_TRANSFER_FRACTION / (1 - ONCHIP_TRANSFER_FRACTION)
+        runtime = compute + transfer
+
+        genes_streamed = workload.total_genes  # every child's stream
+        # Multicast reuse: concurrent children sharing the fit parents are
+        # served by single reads; the sharing factor saturates at the PE
+        # count or the observed parent reuse, whichever is smaller.
+        sharing = max(1, min(self.num_eve_pes, workload.fittest_parent_reuse or 1))
+        sram_reads = 2 * genes_streamed / sharing
+        sram_writes = genes_streamed
+        energy = (
+            genes_streamed * EVE_OP_ENERGY_PJ * 1e-12
+            + (sram_reads + sram_writes) * SRAM_ACCESS_ENERGY_PJ * 1e-12
+            + runtime * _ACTIVE_POWER_W
+        )
+        return PhaseCost(runtime_s=runtime, energy_j=energy, transfer_s=transfer)
+
+    def memory_footprint_bytes(self, workload: GenerationWorkload) -> int:
+        """The whole generation's genomes, 64 bits per gene (Fig. 10d)."""
+        return workload.total_genes * GENE_BYTES
+
+
+def genesys() -> GenesysPlatform:
+    return GenesysPlatform()

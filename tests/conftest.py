@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.neat import Genome, GenomeConfig, InnovationTracker, NEATConfig
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def genome_config():
+    return GenomeConfig(num_inputs=3, num_outputs=2)
+
+
+@pytest.fixture
+def neat_config():
+    return NEATConfig.for_env(3, 2, pop_size=20)
+
+
+@pytest.fixture
+def innovations():
+    return InnovationTracker(next_node_id=2)
+
+
+@pytest.fixture
+def fresh_genome(genome_config, rng):
+    genome = Genome(0)
+    genome.configure_new(genome_config, rng)
+    return genome
+
+
+@pytest.fixture
+def evolved_genome(genome_config, rng, innovations):
+    """A genome taken through a burst of random mutations."""
+    genome = Genome(7)
+    genome.configure_new(genome_config, rng)
+    for _ in range(25):
+        genome.mutate(genome_config, rng, innovations)
+    genome.validate(genome_config)
+    return genome
+
+
+def make_evolved_pair(genome_config, rng, innovations, mutations=15):
+    """Two related genomes with fitness set (crossover-ready)."""
+    parent1 = Genome(1)
+    parent1.configure_new(genome_config, rng)
+    for _ in range(mutations):
+        parent1.mutate(genome_config, rng, innovations)
+    parent2 = parent1.copy(2)
+    for _ in range(mutations):
+        parent2.mutate(genome_config, rng, innovations)
+        parent1.mutate(genome_config, rng, innovations)
+    parent1.fitness = 10.0
+    parent2.fitness = 5.0
+    return parent1, parent2
+
+
+@pytest.fixture
+def evolved_pair(genome_config, rng, innovations):
+    return make_evolved_pair(genome_config, rng, innovations)

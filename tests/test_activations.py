@@ -1,0 +1,102 @@
+"""Unit tests for repro.neat.activations."""
+
+import math
+
+import pytest
+
+from repro.neat.activations import (
+    ACTIVATION_CODES,
+    ACTIVATION_NAMES,
+    ActivationFunctionSet,
+    InvalidActivationError,
+    clamped_activation,
+    gauss_activation,
+    identity_activation,
+    relu_activation,
+    sigmoid_activation,
+    tanh_activation,
+)
+
+
+@pytest.fixture
+def functions():
+    return ActivationFunctionSet()
+
+
+def test_sigmoid_range(functions):
+    for z in (-100.0, -1.0, 0.0, 1.0, 100.0):
+        assert 0.0 <= sigmoid_activation(z) <= 1.0
+
+
+def test_sigmoid_midpoint():
+    assert sigmoid_activation(0.0) == pytest.approx(0.5)
+
+
+def test_sigmoid_is_steepened():
+    # NEAT's sigmoid uses slope 4.9-ish; at z=1 it should be near saturated.
+    assert sigmoid_activation(1.0) > 0.99
+
+
+def test_tanh_symmetry():
+    assert tanh_activation(0.7) == pytest.approx(-tanh_activation(-0.7))
+
+
+def test_relu():
+    assert relu_activation(-3.0) == 0.0
+    assert relu_activation(4.5) == 4.5
+
+
+def test_clamped():
+    assert clamped_activation(-9.0) == -1.0
+    assert clamped_activation(0.25) == 0.25
+    assert clamped_activation(9.0) == 1.0
+
+
+def test_gauss_peak_at_zero():
+    assert gauss_activation(0.0) == pytest.approx(1.0)
+    assert gauss_activation(2.0) < gauss_activation(0.0)
+
+
+def test_identity():
+    assert identity_activation(3.3) == 3.3
+
+
+def test_no_overflow_on_extreme_inputs(functions):
+    for name in functions.names():
+        fn = functions.get(name)
+        for z in (-1e9, -60.0, 0.0, 60.0, 1e9):
+            value = fn(z)
+            assert math.isfinite(value), f"{name}({z}) not finite"
+
+
+def test_registry_contains_builtins(functions):
+    for name in ("sigmoid", "tanh", "relu", "identity"):
+        assert name in functions
+
+
+def test_registry_get_unknown_raises(functions):
+    with pytest.raises(InvalidActivationError):
+        functions.get("definitely-not-registered")
+
+
+def test_registry_add_custom(functions):
+    functions.add("double", lambda z: 2 * z)
+    assert functions.get("double")(2.0) == 4.0
+    assert functions.is_valid("double")
+
+
+def test_registry_add_non_callable_raises(functions):
+    with pytest.raises(TypeError):
+        functions.add("bad", 42)
+
+
+def test_codes_are_stable_and_bijective():
+    assert len(ACTIVATION_CODES) == len(ACTIVATION_NAMES)
+    for name, code in ACTIVATION_CODES.items():
+        assert ACTIVATION_NAMES[code] == name
+    # codes must fit the 4-bit hardware field (Fig. 6)
+    assert max(ACTIVATION_CODES.values()) < 16
+
+
+def test_registry_len_matches_codes(functions):
+    assert len(functions) == len(ACTIVATION_CODES)

@@ -1,0 +1,78 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_envs_command(capsys):
+    assert main(["envs"]) == 0
+    out = capsys.readouterr().out
+    assert "CartPole-v0" in out
+    assert "Alien-ram-v0" in out
+
+
+def test_run_software(capsys):
+    code = main([
+        "run", "CartPole-v0", "--generations", "2", "--population", "15",
+        "--max-steps", "40",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "[software] CartPole-v0" in out
+    assert "best fitness" in out
+
+
+def test_run_hardware(capsys):
+    code = main([
+        "run", "CartPole-v0", "--hardware", "--generations", "2",
+        "--population", "12", "--max-steps", "40",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "[hardware] CartPole-v0" in out
+    assert "energy" in out
+
+
+def test_characterise(capsys):
+    code = main([
+        "characterise", "MountainCar-v0", "--generations", "2",
+        "--population", "10", "--max-steps", "30",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Workload characterisation" in out
+    assert "fittest reuse" in out
+
+
+def test_platforms(capsys):
+    code = main([
+        "platforms", "CartPole-v0", "--generations", "2",
+        "--population", "10", "--max-steps", "30",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "GENESYS" in out
+    assert "CPU_a" in out
+
+
+def test_design_space(capsys):
+    assert main(["design-space"]) == 0
+    out = capsys.readouterr().out
+    assert "256" in out
+    assert "947" in out  # the paper's design point power
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["warp"])
+
+
+def test_missing_env_argument_exits():
+    with pytest.raises(SystemExit):
+        main(["run"])
+
+
+def test_parser_help_strings():
+    parser = build_parser()
+    assert parser.prog == "repro"

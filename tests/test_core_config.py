@@ -1,0 +1,41 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import GeneSysConfig
+from repro.neat import NEATConfig
+
+
+def test_paper_design_point():
+    config = GeneSysConfig.paper_design_point()
+    assert config.eve.num_pes == 256
+    assert config.eve.noc == "multicast"
+    assert config.adam.rows == 32 and config.adam.cols == 32
+    assert config.sram.num_banks == 48
+    assert config.sram.bank_depth == 4096
+    assert config.frequency_hz == 200e6
+
+
+def test_paper_design_point_with_neat():
+    neat = NEATConfig.for_env(4, 2, pop_size=10)
+    config = GeneSysConfig.paper_design_point(neat=neat)
+    assert config.neat.genome.num_inputs == 4
+
+
+def test_pe_config_probability_mapping():
+    neat = NEATConfig.for_env(4, 2, pop_size=10)
+    config = GeneSysConfig.paper_design_point(neat=neat)
+    pe = config.pe_config_from_neat()
+    assert pe.crossover_bias == neat.genome.crossover_bias
+    assert 0.0 <= pe.node_add_prob <= 1.0
+    assert 0.0 <= pe.conn_delete_prob <= 1.0
+    assert pe.max_node_deletions == neat.genome.max_node_deletions_per_child
+
+
+def test_per_gene_probabilities_shrink_with_genome_size():
+    small = GeneSysConfig.paper_design_point(neat=NEATConfig.for_env(2, 2))
+    large = GeneSysConfig.paper_design_point(neat=NEATConfig.for_env(128, 6))
+    assert (
+        large.pe_config_from_neat().node_add_prob
+        < small.pe_config_from_neat().node_add_prob
+    )

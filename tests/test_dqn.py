@@ -1,0 +1,145 @@
+"""Unit tests for the DQN baseline (Table II)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dqn import (
+    DQNAgent,
+    DQNConfig,
+    QNetwork,
+    ea_accounting,
+    paper_dqn_accounting,
+)
+from repro.envs import CartPoleEnv
+
+
+class TestQNetwork:
+    def test_output_shape(self):
+        net = QNetwork([4, 8, 2], seed=0)
+        q = net.predict(np.zeros(4))
+        assert q.shape == (1, 2)
+
+    def test_batch_forward(self):
+        net = QNetwork([4, 8, 2], seed=0)
+        q = net.predict(np.zeros((5, 4)))
+        assert q.shape == (5, 2)
+
+    def test_parameter_count(self):
+        net = QNetwork([4, 8, 2], seed=0)
+        assert net.num_parameters == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_macs_per_forward(self):
+        net = QNetwork([4, 8, 2], seed=0)
+        assert net.macs_per_forward == 4 * 8 + 8 * 2
+
+    def test_forward_counter(self):
+        net = QNetwork([4, 8, 2], seed=0)
+        net.predict(np.zeros((3, 4)))
+        assert net.counters.forward_macs == 3 * net.macs_per_forward
+        assert net.counters.forward_passes == 3
+
+    def test_gradient_counter_is_param_count(self):
+        net = QNetwork([4, 8, 2], seed=0)
+        x = np.random.default_rng(0).normal(size=(4, 4))
+        net.train_step(x, np.zeros(4), np.zeros(4, dtype=int))
+        assert net.counters.gradient_calcs == net.num_parameters
+        assert net.counters.updates == 1
+
+    def test_training_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        net = QNetwork([3, 16, 2], seed=0, learning_rate=0.05)
+        x = rng.normal(size=(32, 3))
+        target = x[:, 0] * 2.0
+        actions = np.zeros(32, dtype=int)
+        losses = [net.train_step(x, target, actions) for _ in range(200)]
+        assert losses[-1] < 0.1 * losses[0]
+
+    def test_copy_weights(self):
+        a = QNetwork([2, 4, 2], seed=0)
+        b = QNetwork([2, 4, 2], seed=1)
+        b.copy_weights_from(a)
+        x = np.ones((1, 2))
+        assert np.allclose(a.predict(x), b.predict(x))
+
+    def test_too_few_layers_raises(self):
+        with pytest.raises(ValueError):
+            QNetwork([4])
+
+    def test_activation_bytes(self):
+        net = QNetwork([4, 8, 2], seed=0)
+        assert net.activation_bytes(batch_size=2) == 2 * (4 + 8 + 2) * 4
+
+
+class TestDQNAgent:
+    def make_agent(self, **overrides):
+        config = DQNConfig(
+            hidden_sizes=(16,),
+            replay_capacity=500,
+            batch_size=8,
+            warmup_transitions=16,
+            epsilon_decay_steps=100,
+            **overrides,
+        )
+        env = CartPoleEnv(seed=0)
+        return DQNAgent(env, config, seed=0)
+
+    def test_epsilon_decays(self):
+        agent = self.make_agent()
+        start = agent.epsilon
+        agent.steps = 100
+        assert agent.epsilon < start
+        assert agent.epsilon == pytest.approx(agent.config.epsilon_end)
+
+    def test_train_episode_runs(self):
+        agent = self.make_agent()
+        reward = agent.train_episode(max_steps=50)
+        assert reward >= 1.0
+        assert len(agent.memory) >= 1
+
+    def test_learning_happens_after_warmup(self):
+        agent = self.make_agent()
+        for _ in range(5):
+            agent.train_episode(max_steps=30)
+        assert agent.online.counters.updates > 0
+
+    def test_evaluate_episode(self):
+        agent = self.make_agent()
+        agent.train_episode(max_steps=20)
+        reward = agent.evaluate_episode(max_steps=20)
+        assert reward >= 1.0
+
+    def test_select_action_valid(self):
+        agent = self.make_agent()
+        state = agent.env.reset()
+        for _ in range(20):
+            assert agent.select_action(state) in (0, 1)
+
+
+class TestTable2Accounting:
+    def test_forward_macs_about_3m(self):
+        # Table II: "3M MAC ops in forward pass".
+        acc = paper_dqn_accounting()
+        assert 2.5e6 <= acc["forward_macs"] <= 3.5e6
+
+    def test_gradient_calcs_about_680k(self):
+        # Table II: "680K gradient calculations in BP".
+        acc = paper_dqn_accounting()
+        assert 6.0e5 <= acc["gradient_calcs"] <= 7.5e5
+
+    def test_replay_tens_of_mb(self):
+        # Table II: "50 MB for replay memory of 100 entries" — our float32
+        # accounting gives the same order of magnitude.
+        acc = paper_dqn_accounting(replay_entries=100)
+        assert 10e6 <= acc["replay_bytes"] <= 60e6
+
+    def test_params_activations_about_4mb(self):
+        # Table II: "4 MB for parameters and activation given mini-batch 32".
+        acc = paper_dqn_accounting(batch_size=32)
+        assert 2e6 <= acc["param_activation_bytes"] <= 8e6
+
+    def test_ea_column(self):
+        # Table II right column: 115K MACs, 135K ops, <1MB.
+        acc = ea_accounting(115_000, 135_000, 920_000)
+        assert acc["inference_macs"] < paper_dqn_accounting()["forward_macs"]
+        assert acc["generation_bytes"] < 1 << 20
+        assert "GLP" in acc["parallelism"]

@@ -1,0 +1,199 @@
+"""Unit tests for the classic-control environments (CartPole,
+MountainCar, Acrobot) — exact ports of the gym dynamics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.envs import AcrobotEnv, CartPoleEnv, MountainCarEnv
+
+
+class TestCartPole:
+    def test_table1_spaces(self):
+        env = CartPoleEnv(seed=0)
+        # Table I: four floating point observations, one binary action.
+        assert env.num_observations == 4
+        assert env.action_space.n == 2
+
+    def test_reset_near_zero(self):
+        env = CartPoleEnv(seed=0)
+        obs = env.reset()
+        assert np.all(np.abs(obs) <= 0.05)
+
+    def test_step_returns_reward_one(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        _obs, reward, _done, _info = env.step(0)
+        assert reward == 1.0
+
+    def test_known_transition(self):
+        """One Euler step from the origin under force +10 N."""
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        env.state = np.zeros(4)
+        obs, _r, _d, _i = env.step(1)
+        # temp = 10/1.1; theta_acc = -(temp)/ (0.5*(4/3 - 0.1/1.1))
+        temp = 10.0 / 1.1
+        theta_acc = -temp / (0.5 * (4.0 / 3.0 - 0.1 / 1.1))
+        x_acc = temp - 0.05 * theta_acc / 1.1
+        assert obs[1] == pytest.approx(0.02 * x_acc)
+        assert obs[3] == pytest.approx(0.02 * theta_acc)
+        assert obs[0] == 0.0 and obs[2] == 0.0  # positions lag one step
+
+    def test_terminates_on_angle(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        done = False
+        steps = 0
+        while not done and steps < 200:
+            _obs, _r, done, _info = env.step(0)  # constant push -> falls
+            steps += 1
+        assert done
+        assert steps < 200
+
+    def test_time_limit_truncation(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        env.max_episode_steps = 5
+        for _ in range(4):
+            _o, _r, done, _i = env.step(0)
+            if done:
+                pytest.skip("fell before truncation")
+        _o, _r, done, info = env.step(0)
+        assert done
+        assert info.get("TimeLimit.truncated")
+
+    def test_step_after_done_raises(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        env.state = np.array([3.0, 0, 0, 0])  # out of bounds next step
+        _o, _r, done, _i = env.step(0)
+        assert done
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+    def test_invalid_action_raises(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(5)
+
+    def test_deterministic_given_seed(self):
+        rollouts = []
+        for _ in range(2):
+            env = CartPoleEnv()
+            env.seed(77)
+            obs = env.reset()
+            trace = [obs]
+            for _ in range(10):
+                obs, _r, done, _i = env.step(1)
+                trace.append(obs)
+                if done:
+                    break
+            rollouts.append(np.stack(trace))
+        assert np.allclose(rollouts[0], rollouts[1])
+
+
+class TestMountainCar:
+    def test_table1_spaces(self):
+        env = MountainCarEnv(seed=0)
+        # Table I: two floating point observations; action integer < 3.
+        assert env.num_observations == 2
+        assert env.action_space.n == 3
+
+    def test_reset_in_valley(self):
+        env = MountainCarEnv(seed=0)
+        obs = env.reset()
+        assert -0.6 <= obs[0] <= -0.4
+        assert obs[1] == 0.0
+
+    def test_velocity_clipped(self):
+        env = MountainCarEnv(seed=0)
+        env.reset()
+        for _ in range(100):
+            obs, _r, done, _i = env.step(2)
+            assert abs(obs[1]) <= env.MAX_SPEED + 1e-12
+            if done:
+                break
+
+    def test_reward_is_minus_one(self):
+        env = MountainCarEnv(seed=0)
+        env.reset()
+        _obs, reward, _d, _i = env.step(1)
+        assert reward == -1.0
+
+    def test_left_wall_zeroes_velocity(self):
+        env = MountainCarEnv(seed=0)
+        env.reset()
+        env.state = np.array([env.MIN_POSITION, -0.05])
+        obs, *_ = env.step(0)
+        assert obs[0] == env.MIN_POSITION
+        assert obs[1] == 0.0
+
+    def test_oscillation_strategy_reaches_goal(self):
+        """The classic bang-bang policy (push in direction of motion)."""
+        env = MountainCarEnv(seed=4)
+        obs = env.reset()
+        for _ in range(200):
+            action = 2 if obs[1] >= 0 else 0
+            obs, _r, done, _i = env.step(action)
+            if done:
+                break
+        assert obs[0] >= env.GOAL_POSITION
+
+    def test_idle_never_reaches_goal(self):
+        env = MountainCarEnv(seed=0)
+        env.reset()
+        for _ in range(200):
+            obs, _r, done, _i = env.step(1)
+            if done:
+                break
+        assert obs[0] < env.GOAL_POSITION
+
+
+class TestAcrobot:
+    def test_table1_spaces(self):
+        env = AcrobotEnv(seed=0)
+        # Table I: six floating point observations.
+        assert env.num_observations == 6
+        assert env.action_space.n == 3
+
+    def test_observation_is_trig_encoded(self):
+        env = AcrobotEnv(seed=0)
+        obs = env.reset()
+        assert obs[0] == pytest.approx(math.cos(env.state[0]))
+        assert obs[1] == pytest.approx(math.sin(env.state[0]))
+        assert np.all(np.abs(obs[:4]) <= 1.0)
+
+    def test_velocities_bounded(self):
+        env = AcrobotEnv(seed=1)
+        env.reset()
+        for _ in range(100):
+            obs, _r, done, _i = env.step(2)
+            assert abs(obs[4]) <= env.MAX_VEL_1 + 1e-9
+            assert abs(obs[5]) <= env.MAX_VEL_2 + 1e-9
+            if done:
+                break
+
+    def test_reward_structure(self):
+        env = AcrobotEnv(seed=0)
+        env.reset()
+        _obs, reward, done, _i = env.step(0)
+        if not done:
+            assert reward == -1.0
+
+    def test_hanging_start_not_done(self):
+        env = AcrobotEnv(seed=0)
+        env.reset()
+        # near-hanging state: -cos(0) - cos(0) = -2 < 1
+        _obs, _r, done, _i = env.step(1)
+        assert not done
+
+    def test_energy_injection_changes_state(self):
+        env = AcrobotEnv(seed=0)
+        env.reset()
+        initial = env.state.copy()
+        for _ in range(10):
+            env.step(2)
+        assert not np.allclose(env.state, initial)

@@ -1,0 +1,104 @@
+"""Unit tests for repro.envs.evaluate."""
+
+import numpy as np
+import pytest
+
+from repro.envs import (
+    CartPoleEnv,
+    FitnessEvaluator,
+    LunarLanderEnv,
+    action_from_outputs,
+    make,
+    run_episode,
+)
+from repro.envs.bipedal import BipedalWalkerEnv
+from repro.neat import NEATConfig, Population
+from repro.neat.network import FeedForwardNetwork
+
+
+class TestActionTranslation:
+    def test_discrete_argmax(self):
+        env = LunarLanderEnv(seed=0)
+        assert action_from_outputs([0.1, 0.9, 0.3, 0.2], env) == 1
+
+    def test_binary_single_output(self):
+        env = CartPoleEnv(seed=0)
+        assert action_from_outputs([0.9], env) == 1
+        assert action_from_outputs([0.1], env) == 0
+
+    def test_binary_single_output_signed(self):
+        env = CartPoleEnv(seed=0)
+        assert action_from_outputs([-0.5], env) == 0
+        assert action_from_outputs([1.5], env) == 1
+
+    def test_box_clipped(self):
+        env = BipedalWalkerEnv(seed=0)
+        action = action_from_outputs([5.0, -5.0, 0.5, 0.0], env)
+        assert np.all(action <= 1.0) and np.all(action >= -1.0)
+        assert action[2] == 0.5
+
+    def test_discrete_two_output_argmax(self):
+        env = CartPoleEnv(seed=0)
+        assert action_from_outputs([0.2, 0.8], env) == 1
+
+
+class TestRunEpisode:
+    def make_network(self, env_id="CartPole-v0"):
+        env = make(env_id, seed=0)
+        config = NEATConfig.for_env(env.num_observations, 2, pop_size=5)
+        pop = Population(config, seed=0)
+        genome = next(iter(pop.population.values()))
+        return FeedForwardNetwork.create(genome, config.genome), env
+
+    def test_episode_runs_and_counts(self):
+        network, env = self.make_network()
+        env.seed(3)
+        result = run_episode(network, env)
+        assert result.steps >= 1
+        assert result.total_reward == result.steps  # CartPole: +1/step
+        assert result.inference_macs == network.num_macs * result.steps
+
+    def test_max_steps_cap(self):
+        network, env = self.make_network()
+        env.seed(3)
+        result = run_episode(network, env, max_steps=3)
+        assert result.steps <= 3
+
+
+class TestFitnessEvaluator:
+    def test_assigns_all_fitnesses(self):
+        config = NEATConfig.for_env(4, 2, pop_size=8)
+        pop = Population(config, seed=0)
+        evaluator = FitnessEvaluator("CartPole-v0", episodes=1, seed=0)
+        genomes = list(pop.population.values())
+        evaluator(genomes, config)
+        assert all(g.fitness is not None for g in genomes)
+
+    def test_totals_accumulate(self):
+        config = NEATConfig.for_env(4, 2, pop_size=4)
+        pop = Population(config, seed=0)
+        evaluator = FitnessEvaluator("CartPole-v0", episodes=2, seed=0)
+        evaluator(list(pop.population.values()), config)
+        assert evaluator.totals.episodes == 8
+        assert evaluator.totals.steps >= 8
+
+    def test_deterministic_for_seed(self):
+        fits = []
+        for _ in range(2):
+            config = NEATConfig.for_env(4, 2, pop_size=6)
+            pop = Population(config, seed=1)
+            evaluator = FitnessEvaluator("CartPole-v0", episodes=1, seed=9)
+            genomes = list(pop.population.values())
+            evaluator(genomes, config)
+            fits.append([g.fitness for g in genomes])
+        assert fits[0] == fits[1]
+
+    def test_fitness_transform(self):
+        config = NEATConfig.for_env(4, 2, pop_size=4)
+        pop = Population(config, seed=0)
+        evaluator = FitnessEvaluator(
+            "CartPole-v0", episodes=1, seed=0, fitness_transform=lambda f: -f
+        )
+        genomes = list(pop.population.values())
+        evaluator(genomes, config)
+        assert all(g.fitness <= 0 for g in genomes)

@@ -1,0 +1,111 @@
+"""Unit tests for the OpenAI-ES baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.evolution_strategies import (
+    ESConfig,
+    ESPolicy,
+    EvolutionStrategies,
+    centered_ranks,
+)
+from repro.envs import CartPoleEnv, make
+
+
+class TestCenteredRanks:
+    def test_range(self):
+        ranks = centered_ranks(np.array([5.0, 1.0, 3.0, 9.0]))
+        assert ranks.min() == -0.5
+        assert ranks.max() == 0.5
+
+    def test_order_preserved(self):
+        returns = np.array([5.0, 1.0, 3.0])
+        ranks = centered_ranks(returns)
+        assert ranks[np.argmax(returns)] == ranks.max()
+        assert ranks[np.argmin(returns)] == ranks.min()
+
+    def test_scale_invariant(self):
+        a = centered_ranks(np.array([1.0, 2.0, 3.0]))
+        b = centered_ranks(np.array([10.0, 2000.0, 3e6]))
+        assert np.allclose(a, b)
+
+    def test_single_element(self):
+        assert centered_ranks(np.array([7.0]))[0] == 0.0
+
+
+class TestESPolicy:
+    def test_parameter_count(self):
+        policy = ESPolicy(4, 2, hidden_sizes=(8,))
+        assert policy.num_parameters == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_macs(self):
+        policy = ESPolicy(4, 2, hidden_sizes=(8,))
+        assert policy.macs_per_forward == 4 * 8 + 8 * 2
+
+    def test_forward_shape(self):
+        policy = ESPolicy(4, 3, hidden_sizes=(8, 8))
+        theta = np.zeros(policy.num_parameters)
+        out = policy.forward(theta, np.ones(4))
+        assert out.shape == (3,)
+        assert np.allclose(out, 0.0)  # zero params -> zero output
+
+    def test_unflatten_round_trip(self):
+        policy = ESPolicy(3, 2, hidden_sizes=(4,))
+        rng = np.random.default_rng(0)
+        theta = rng.normal(size=policy.num_parameters)
+        layers = policy.unflatten(theta)
+        flat = np.concatenate([np.concatenate([w.ravel(), b]) for w, b in layers])
+        assert np.allclose(flat, theta)
+
+
+class TestEvolutionStrategies:
+    def test_stats_accounting(self):
+        env = make("CartPole-v0", seed=0)
+        es = EvolutionStrategies(env, ESConfig(population=4, max_steps=30), seed=0)
+        es.run_generation()
+        # 2*population perturbed rollouts + 1 evaluation rollout
+        assert es.stats.episodes == 2 * 4 + 1
+        assert es.stats.env_steps > 0
+        assert es.stats.inference_macs == es.stats.env_steps * es.policy.macs_per_forward
+        assert es.stats.parameter_updates == es.policy.num_parameters
+
+    def test_deterministic_given_seed(self):
+        scores = []
+        for _ in range(2):
+            env = make("CartPole-v0", seed=0)
+            es = EvolutionStrategies(env, ESConfig(population=4, max_steps=30), seed=3)
+            scores.append(es.run(generations=2))
+        assert scores[0] == scores[1]
+
+    def test_learns_cartpole(self):
+        env = make("CartPole-v0", seed=0)
+        es = EvolutionStrategies(
+            env,
+            ESConfig(population=12, sigma=0.2, learning_rate=0.15,
+                     hidden_sizes=(8,), max_steps=120),
+            seed=1,
+        )
+        first = es.run_generation(0)
+        best = es.run(generations=10)
+        assert best >= first  # monotone best over the run
+
+    def test_target_stops_early(self):
+        env = make("CartPole-v0", seed=0)
+        es = EvolutionStrategies(env, ESConfig(population=4, max_steps=20), seed=0)
+        es.run(generations=10, target=1.0)  # any rollout scores >= 1
+        assert es.stats.generations < 10
+
+    def test_box_action_space(self):
+        env = make("BipedalWalker-v2", seed=0)
+        es = EvolutionStrategies(env, ESConfig(population=2, max_steps=10), seed=0)
+        score = es.run_generation()
+        assert np.isfinite(score)
+
+    def test_fixed_topology_vs_neat(self):
+        """The architectural contrast the paper draws: ES has zero
+        structural ops — all parameters, fixed MACs per pass."""
+        env = make("CartPole-v0", seed=0)
+        es = EvolutionStrategies(env, ESConfig(population=2, max_steps=10), seed=0)
+        macs_before = es.policy.macs_per_forward
+        es.run(generations=2)
+        assert es.policy.macs_per_forward == macs_before

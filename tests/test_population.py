@@ -1,0 +1,121 @@
+"""Unit tests for repro.neat.population."""
+
+import pytest
+
+from repro.neat import NEATConfig, Population
+
+
+@pytest.fixture
+def config():
+    return NEATConfig.for_env(2, 1, pop_size=20)
+
+
+def constant_fitness(value):
+    def fitness_fn(genomes, config):
+        for genome in genomes:
+            genome.fitness = value
+
+    return fitness_fn
+
+
+def size_fitness(genomes, config):
+    """Reward structural growth: deterministic, evolution-sensitive."""
+    for genome in genomes:
+        genome.fitness = float(genome.num_genes)
+
+
+def test_initial_population_size(config):
+    pop = Population(config, seed=0)
+    assert len(pop.population) == 20
+    assert pop.generation == 0
+
+
+def test_run_generation_advances(config):
+    pop = Population(config, seed=0)
+    pop.run_generation(constant_fitness(1.0))
+    assert pop.generation == 1
+    assert len(pop.population) == 20
+
+
+def test_unevaluated_genome_raises(config):
+    pop = Population(config, seed=0)
+
+    def partial(genomes, cfg):
+        for genome in genomes[:-1]:
+            genome.fitness = 1.0
+
+    with pytest.raises(RuntimeError, match="unevaluated"):
+        pop.run_generation(partial)
+
+
+def test_best_genome_tracked(config):
+    pop = Population(config, seed=0)
+    pop.run_generation(size_fitness)
+    assert pop.best_genome is not None
+    assert pop.best_genome.fitness >= 1
+
+
+def test_run_stops_at_threshold(config):
+    pop = Population(config, seed=0)
+    best = pop.run(constant_fitness(5.0), max_generations=50, fitness_threshold=4.0)
+    assert pop.generation == 1  # converged immediately
+    assert best.fitness == 5.0
+
+
+def test_run_respects_generation_budget(config):
+    pop = Population(config, seed=0)
+    pop.run(constant_fitness(0.0), max_generations=3, fitness_threshold=100.0)
+    assert pop.generation == 3
+
+
+def test_statistics_recorded_per_generation(config):
+    pop = Population(config, seed=0)
+    pop.run(size_fitness, max_generations=4)
+    stats = pop.statistics.generations
+    assert len(stats) == 4
+    assert all(s.population_size == 20 for s in stats)
+    assert stats[0].ops.total == 0  # no reproduction before generation 0
+    assert any(s.ops.total > 0 for s in stats[1:])
+
+
+def test_gene_growth_under_size_pressure(config):
+    config.genome.node_add_prob = 0.5
+    config.genome.conn_add_prob = 0.5
+    pop = Population(config, seed=1)
+    pop.run(size_fitness, max_generations=8)
+    series = pop.statistics.gene_count_series()
+    assert series[-1] > series[0]
+
+
+def test_fitness_criterion_mean(config):
+    config.fitness_criterion = "mean"
+    pop = Population(config, seed=0)
+    pop.run(constant_fitness(2.0), max_generations=2, fitness_threshold=1.0)
+    assert pop.generation == 1
+
+
+def test_converged_property(config):
+    config.fitness_threshold = 1.0
+    pop = Population(config, seed=0)
+    assert not pop.converged
+    pop.run(constant_fitness(5.0), max_generations=2)
+    assert pop.converged
+
+
+def test_deterministic_given_seed(config):
+    runs = []
+    for _ in range(2):
+        pop = Population(config, seed=42)
+        pop.run(size_fitness, max_generations=3)
+        runs.append(pop.statistics.gene_count_series())
+    assert runs[0] == runs[1]
+
+
+def test_different_seeds_differ(config):
+    config.genome.node_add_prob = 0.3
+    results = []
+    for seed in (1, 2):
+        pop = Population(config, seed=seed)
+        pop.run(size_fitness, max_generations=5)
+        results.append(tuple(pop.statistics.gene_count_series()))
+    assert results[0] != results[1]

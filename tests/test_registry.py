@@ -1,0 +1,75 @@
+"""Unit tests for repro.envs.registry."""
+
+import pytest
+
+from repro.envs import (
+    ATARI_SUITE,
+    CANONICAL_IDS,
+    CLASSIC_SUITE,
+    EVALUATION_SUITE,
+    Environment,
+    UnknownEnvironmentError,
+    available,
+    make,
+    register,
+)
+
+
+def test_all_canonical_ids_instantiable():
+    for env_id in CANONICAL_IDS:
+        env = make(env_id, seed=0)
+        assert isinstance(env, Environment)
+        obs = env.reset()
+        assert obs.shape[0] == env.num_observations
+
+
+def test_fuzzy_lookup_matches_paper_spellings():
+    # The paper's figure labels use several spellings of the same env.
+    for spelling in ("CartPole_v0", "cartpole-v0", "CartPole-v0", "Cartpole v0"):
+        assert type(make(spelling)).__name__ == "CartPoleEnv"
+    for spelling in ("Alien-ram-v0", "Alien RAM v0", "alien_ram_v0"):
+        assert type(make(spelling)).__name__ == "AlienRamEnv"
+
+
+def test_unknown_env_raises():
+    with pytest.raises(UnknownEnvironmentError):
+        make("Pong-v0")
+
+
+def test_available_lists_canonical():
+    assert set(available()) == set(CANONICAL_IDS)
+
+
+def test_evaluation_suite_is_the_paper_six():
+    # The six workloads of Fig. 9/10.
+    assert len(EVALUATION_SUITE) == 6
+    assert set(EVALUATION_SUITE) <= set(CANONICAL_IDS)
+
+
+def test_suites_partition_sensibly():
+    assert set(CLASSIC_SUITE).isdisjoint(ATARI_SUITE)
+    assert len(ATARI_SUITE) == 4
+
+
+def test_seed_passthrough():
+    env1 = make("MountainCar-v0", seed=5)
+    env2 = make("MountainCar-v0", seed=5)
+    assert (env1.reset() == env2.reset()).all()
+
+
+def test_register_custom_env():
+    class TinyEnv(Environment):
+        from repro.envs import Box, Discrete
+
+        observation_space = Box(low=[0.0], high=[1.0])
+        action_space = Discrete(2)
+
+        def _reset(self):
+            return [0.5]
+
+        def _step(self, action):
+            return [0.5], 1.0, True, {}
+
+    register("Tiny-v0", TinyEnv)
+    env = make("Tiny-v0")
+    assert env.reset()[0] == 0.5

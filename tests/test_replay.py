@@ -1,0 +1,59 @@
+"""Unit tests for the DQN replay memory."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.replay import ReplayMemory, Transition
+
+
+def push_n(memory, n, dim=4):
+    for i in range(n):
+        state = np.full(dim, i, dtype=np.float32)
+        memory.push(state, i % 2, float(i), state + 1, i % 5 == 0)
+
+
+def test_push_and_len():
+    memory = ReplayMemory(capacity=10, seed=0)
+    push_n(memory, 5)
+    assert len(memory) == 5
+
+
+def test_ring_buffer_eviction():
+    memory = ReplayMemory(capacity=3, seed=0)
+    push_n(memory, 5)
+    assert len(memory) == 3
+    states = {t.state[0] for t in memory._buffer}
+    assert states == {2.0, 3.0, 4.0}
+
+
+def test_sample_size():
+    memory = ReplayMemory(capacity=10, seed=0)
+    push_n(memory, 10)
+    batch = memory.sample(4)
+    assert len(batch) == 4
+    assert all(isinstance(t, Transition) for t in batch)
+
+
+def test_sample_too_many_raises():
+    memory = ReplayMemory(capacity=10, seed=0)
+    push_n(memory, 2)
+    with pytest.raises(ValueError):
+        memory.sample(5)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        ReplayMemory(capacity=0)
+
+
+def test_nbytes_accounting():
+    memory = ReplayMemory(capacity=10, seed=0)
+    push_n(memory, 4, dim=8)
+    # each transition: 2 x 8 float32 + 17 bytes of scalars
+    assert memory.nbytes == 4 * (2 * 8 * 4 + 17)
+
+
+def test_states_stored_as_float32():
+    memory = ReplayMemory(capacity=2, seed=0)
+    memory.push(np.zeros(3, dtype=np.float64), 0, 0.0, np.zeros(3), False)
+    assert memory._buffer[0].state.dtype == np.float32

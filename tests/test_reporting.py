@@ -1,0 +1,93 @@
+"""Unit tests for repro.analysis.reporting."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    fmt_bytes,
+    fmt_joules,
+    fmt_seconds,
+    fmt_si,
+    orders_of_magnitude,
+    render_distribution_table,
+    render_series,
+    render_table,
+    summarize_distribution,
+)
+
+
+class TestFormatting:
+    def test_fmt_si_large(self):
+        assert fmt_si(12_300) == "12.3k"
+        assert fmt_si(2_500_000) == "2.5M"
+        assert fmt_si(3.2e9) == "3.2G"
+
+    def test_fmt_si_small(self):
+        assert fmt_si(0.0012, "s") == "1.2ms"
+        assert fmt_si(4.5e-6, "J") == "4.5uJ"
+        assert fmt_si(7e-10) == "700p"
+
+    def test_fmt_si_unit_range(self):
+        assert fmt_si(5.5) == "5.5"
+        assert fmt_si(0) == "0"
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2048) == "2.00 KiB"
+        assert fmt_bytes(3 * 1024 * 1024) == "3.00 MiB"
+
+    def test_fmt_seconds_joules(self):
+        assert fmt_seconds(0.5) == "500ms"
+        assert fmt_joules(2.0) == "2J"
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_table_title(self):
+        out = render_table(["x"], [["1"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_render_series_downsamples(self):
+        xs = list(range(100))
+        out = render_series("S", xs, {"y": xs}, max_points=10)
+        lines = out.splitlines()
+        assert len(lines) < 20
+        assert "99" in out  # last point always included
+
+    def test_render_series_empty(self):
+        assert "empty" in render_series("S", [], {"y": []})
+
+
+class TestDistributions:
+    def test_summary_quartiles(self):
+        s = summarize_distribution(list(range(1, 101)))
+        assert s["min"] == 1 and s["max"] == 100
+        assert s["median"] == pytest.approx(50.5)
+        assert s["p25"] == pytest.approx(25.75)
+        assert s["mean"] == pytest.approx(50.5)
+
+    def test_summary_single_value(self):
+        s = summarize_distribution([7])
+        assert s["min"] == s["max"] == s["median"] == 7
+
+    def test_summary_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_distribution([])
+
+    def test_distribution_table(self):
+        out = render_distribution_table("D", {"env": [1, 2, 3]})
+        assert "env" in out and "median" in out
+
+
+class TestOrders:
+    def test_orders_of_magnitude(self):
+        assert orders_of_magnitude(1000, 1) == pytest.approx(3.0)
+        assert orders_of_magnitude(1, 100) == pytest.approx(-2.0)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            orders_of_magnitude(0, 1)

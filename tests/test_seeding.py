@@ -1,0 +1,34 @@
+"""Unit tests for repro.envs.seeding."""
+
+from repro.envs.seeding import derive_seed, make_rng
+
+
+def test_make_rng_deterministic():
+    assert make_rng(5).random() == make_rng(5).random()
+
+
+def test_make_rng_distinct_seeds():
+    assert make_rng(1).random() != make_rng(2).random()
+
+
+def test_derive_seed_deterministic():
+    assert derive_seed(100, 3) == derive_seed(100, 3)
+
+
+def test_derive_seed_decorrelates_streams():
+    seeds = {derive_seed(100, stream) for stream in range(1000)}
+    assert len(seeds) == 1000
+
+
+def test_derive_seed_differs_across_bases():
+    assert derive_seed(1, 0) != derive_seed(2, 0)
+
+
+def test_derive_seed_none_passthrough():
+    assert derive_seed(None, 7) is None
+
+
+def test_derive_seed_in_31_bit_range():
+    for stream in range(100):
+        seed = derive_seed(12345, stream)
+        assert 0 <= seed < 2 ** 31

@@ -1,0 +1,77 @@
+"""Unit tests for the Gene Selector (CPU selection thread)."""
+
+import random
+
+import pytest
+
+from repro.hw.gene_encoding import encode_genome
+from repro.hw.selector import GeneSelector
+from repro.hw.sram import GenomeBuffer
+from repro.neat import NEATConfig
+
+
+@pytest.fixture
+def setup():
+    config = NEATConfig.for_env(2, 1, pop_size=12)
+    selector = GeneSelector(config, seed=0)
+    rng = random.Random(0)
+    population = selector.reproduction.create_initial_population(rng)
+    buffer = GenomeBuffer()
+    for key, genome in population.items():
+        buffer.write_genome(key, encode_genome(genome, config.genome))
+        buffer.set_fitness(key, float(key))
+    return config, selector, population, buffer
+
+
+def test_select_produces_full_plan(setup):
+    config, selector, population, buffer = setup
+    outcome = selector.select(population, buffer, generation=0)
+    assert outcome.plan is not None
+    total = len(outcome.plan.events) + len(outcome.plan.elite_keys)
+    assert total == config.pop_size
+
+
+def test_fitness_read_from_buffer(setup):
+    config, selector, population, buffer = setup
+    selector.select(population, buffer, generation=0)
+    for key, genome in population.items():
+        assert genome.fitness == float(key)
+
+
+def test_parents_above_threshold(setup):
+    """Step 7: only individuals above the fitness threshold reproduce."""
+    config, selector, population, buffer = setup
+    outcome = selector.select(population, buffer, generation=0)
+    parent_keys = set()
+    for event in outcome.plan.events:
+        parent_keys.add(event.parent1_key)
+        parent_keys.add(event.parent2_key)
+    worst = sorted(population)[: len(population) // 2]
+    # the bottom genomes (lowest fitness = lowest keys here) never breed
+    cutoff = int(round(len(population) * config.reproduction.survival_threshold))
+    allowed = set(sorted(population, key=lambda k: -buffer.get_fitness(k))[: max(2, cutoff)])
+    assert parent_keys <= allowed
+
+
+def test_cpu_cycles_scale_with_population(setup):
+    config, selector, population, buffer = setup
+    outcome = selector.select(population, buffer, generation=0)
+    assert outcome.cpu_cycles == len(population) * GeneSelector.CYCLES_PER_GENOME
+
+
+def test_species_counted(setup):
+    config, selector, population, buffer = setup
+    outcome = selector.select(population, buffer, generation=0)
+    assert outcome.num_species >= 1
+
+
+def test_deterministic(setup):
+    config, selector, population, buffer = setup
+    plans = []
+    for _ in range(2):
+        selector2 = GeneSelector(config, seed=9)
+        outcome = selector2.select(dict(population), buffer, generation=0)
+        plans.append(
+            [(e.child_key, e.parent1_key, e.parent2_key) for e in outcome.plan.events]
+        )
+    assert plans[0] == plans[1]

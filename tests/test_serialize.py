@@ -1,0 +1,144 @@
+"""Unit tests for genome/population serialization."""
+
+import json
+import random
+
+import pytest
+
+from repro.neat import Genome, GenomeConfig, InnovationTracker, NEATConfig
+from repro.neat.network import FeedForwardNetwork
+from repro.neat.serialize import (
+    DeserializationError,
+    genome_from_dict,
+    genome_to_dict,
+    load_genome,
+    load_genome_with_config,
+    load_population,
+    save_genome,
+    save_population,
+)
+
+
+@pytest.fixture
+def config():
+    return NEATConfig.for_env(3, 2, pop_size=5)
+
+
+@pytest.fixture
+def genome(config):
+    rng = random.Random(0)
+    innovations = InnovationTracker(next_node_id=2)
+    g = Genome(7)
+    g.configure_new(config.genome, rng)
+    for _ in range(20):
+        g.mutate(config.genome, rng, innovations)
+    g.fitness = 42.5
+    return g
+
+
+class TestDictRoundTrip:
+    def test_structure_preserved(self, genome):
+        clone = genome_from_dict(genome_to_dict(genome))
+        assert clone.key == genome.key
+        assert clone.fitness == genome.fitness
+        assert set(clone.nodes) == set(genome.nodes)
+        assert set(clone.connections) == set(genome.connections)
+
+    def test_attributes_exact(self, genome):
+        clone = genome_from_dict(genome_to_dict(genome))
+        for key, node in genome.nodes.items():
+            assert clone.nodes[key].bias == node.bias
+            assert clone.nodes[key].activation == node.activation
+        for key, conn in genome.connections.items():
+            assert clone.connections[key].weight == conn.weight
+            assert clone.connections[key].enabled == conn.enabled
+
+    def test_phenotype_identical(self, genome, config):
+        clone = genome_from_dict(genome_to_dict(genome))
+        a = FeedForwardNetwork.create(genome, config.genome)
+        b = FeedForwardNetwork.create(clone, config.genome)
+        x = [0.2, -0.7, 0.5]
+        assert a.activate(x) == b.activate(x)
+
+    def test_json_serialisable(self, genome):
+        json.dumps(genome_to_dict(genome))
+
+
+class TestFileRoundTrip:
+    def test_save_load_genome(self, genome, tmp_path):
+        path = tmp_path / "champion.json"
+        save_genome(genome, path)
+        loaded = load_genome(path)
+        assert set(loaded.connections) == set(genome.connections)
+
+    def test_save_with_config(self, genome, config, tmp_path):
+        path = tmp_path / "champion.json"
+        save_genome(genome, path, config=config)
+        loaded, loaded_config = load_genome_with_config(path)
+        assert loaded_config.genome.num_inputs == 3
+        assert loaded.key == genome.key
+
+    def test_population_checkpoint(self, config, tmp_path):
+        rng = random.Random(1)
+        genomes = []
+        for i in range(5):
+            g = Genome(i)
+            g.configure_new(config.genome, rng)
+            g.fitness = float(i)
+            genomes.append(g)
+        path = tmp_path / "gen12.json"
+        save_population(genomes, path, generation=12, config=config)
+        loaded, generation = load_population(path)
+        assert generation == 12
+        assert [g.key for g in loaded] == [0, 1, 2, 3, 4]
+        assert loaded[3].fitness == 3.0
+
+
+class TestFailureModes:
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DeserializationError):
+            load_genome(path)
+
+    def test_missing_genome_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"something": 1}))
+        with pytest.raises(DeserializationError):
+            load_genome(path)
+
+    def test_wrong_format_version(self, genome):
+        data = genome_to_dict(genome)
+        data["format"] = 99
+        with pytest.raises(DeserializationError):
+            genome_from_dict(data)
+
+    def test_malformed_node(self, genome):
+        data = genome_to_dict(genome)
+        del data["nodes"][0]["bias"]
+        with pytest.raises(DeserializationError):
+            genome_from_dict(data)
+
+    def test_population_file_without_genomes(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 1}))
+        with pytest.raises(DeserializationError):
+            load_population(path)
+
+    def test_missing_config(self, genome, tmp_path):
+        path = tmp_path / "nocfg.json"
+        save_genome(genome, path)
+        with pytest.raises(DeserializationError):
+            load_genome_with_config(path)
+
+
+class TestHardwareInterop:
+    def test_loaded_genome_encodes(self, genome, config, tmp_path):
+        from repro.hw import encode_genome
+
+        path = tmp_path / "g.json"
+        save_genome(genome, path)
+        loaded = load_genome(path)
+        assert encode_genome(loaded, config.genome) == encode_genome(
+            genome, config.genome
+        )

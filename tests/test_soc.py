@@ -1,0 +1,95 @@
+"""Unit tests for the GeneSys SoC walkthrough loop."""
+
+import pytest
+
+from repro.core.config import GeneSysConfig
+from repro.core.runner import config_for_env
+from repro.core.soc import GeneSysSoC
+from repro.hw.eve import EvEConfig
+
+
+@pytest.fixture
+def soc():
+    neat = config_for_env("CartPole-v0", pop_size=16)
+    config = GeneSysConfig(neat=neat, eve=EvEConfig(num_pes=8), seed=0)
+    return GeneSysSoC(config, "CartPole-v0", episodes=1, max_steps=60)
+
+
+def test_initialise_population_loads_buffer(soc):
+    soc.initialise_population()
+    assert len(soc.population) == 16
+    assert soc.buffer.resident_genomes() == sorted(soc.population)
+
+
+def test_evaluate_population_sets_fitness(soc):
+    soc.initialise_population()
+    steps = soc.evaluate_population()
+    assert steps > 0
+    for key, genome in soc.population.items():
+        assert genome.fitness is not None
+        assert soc.buffer.get_fitness(key) == genome.fitness
+
+
+def test_run_generation_report_fields(soc):
+    report = soc.run_generation()
+    assert report.generation == 0
+    assert report.best_fitness >= report.mean_fitness >= 1.0
+    assert report.num_genes > 0
+    assert report.env_steps > 0
+    assert report.inference_cycles > 0
+    assert report.evolution_cycles > 0
+    assert report.energy.total_energy_j > 0
+    assert report.inference.passes > 0
+    assert report.footprint_bytes == soc.buffer.bytes_used
+
+
+def test_generation_replaces_population(soc):
+    soc.run_generation()
+    first_gen_keys = set(soc.population)
+    soc.run_generation()
+    assert set(soc.population).isdisjoint(first_gen_keys)
+    assert len(soc.population) == 16
+    # buffer holds exactly the new generation
+    assert soc.buffer.resident_genomes() == sorted(soc.population)
+
+
+def test_population_size_conserved_across_generations(soc):
+    for _ in range(4):
+        soc.run_generation()
+        assert len(soc.population) == 16
+
+
+def test_children_decode_valid(soc):
+    soc.run_generation()
+    for genome in soc.population.values():
+        genome.validate(soc.config.neat.genome)
+
+
+def test_run_until_threshold(soc):
+    best = soc.run(max_generations=8, fitness_threshold=30.0)
+    assert best.fitness is not None
+    assert soc.reports
+    assert soc.generation <= 8
+
+
+def test_reports_accumulate(soc):
+    soc.run(max_generations=3, fitness_threshold=1e9)
+    assert len(soc.reports) == 3
+    assert [r.generation for r in soc.reports] == [0, 1, 2]
+
+
+def test_seconds_properties(soc):
+    report = soc.run_generation()
+    assert report.inference_seconds == pytest.approx(report.inference_cycles / 200e6)
+    assert report.evolution_seconds == pytest.approx(report.evolution_cycles / 200e6)
+
+
+def test_deterministic_given_seed():
+    results = []
+    for _ in range(2):
+        neat = config_for_env("CartPole-v0", pop_size=12)
+        config = GeneSysConfig(neat=neat, eve=EvEConfig(num_pes=4), seed=5)
+        soc = GeneSysSoC(config, "CartPole-v0", episodes=1, max_steps=40)
+        soc.run(max_generations=3, fitness_threshold=1e9)
+        results.append([r.best_fitness for r in soc.reports])
+    assert results[0] == results[1]

@@ -1,0 +1,104 @@
+"""Unit tests for repro.envs.spaces."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.envs.spaces import Box, Discrete, MultiBinary
+
+
+@pytest.fixture
+def rng():
+    return random.Random(3)
+
+
+class TestDiscrete:
+    def test_contains(self):
+        space = Discrete(4)
+        assert space.contains(0)
+        assert space.contains(3)
+        assert not space.contains(4)
+        assert not space.contains(-1)
+        assert not space.contains(1.5)
+        assert not space.contains("a")
+
+    def test_contains_numpy_int(self):
+        assert Discrete(3).contains(np.int64(2))
+
+    def test_sample_in_range(self, rng):
+        space = Discrete(5)
+        for _ in range(100):
+            assert space.contains(space.sample(rng))
+
+    def test_flat_dim(self):
+        assert Discrete(7).flat_dim == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Discrete(0)
+
+    def test_equality(self):
+        assert Discrete(3) == Discrete(3)
+        assert Discrete(3) != Discrete(4)
+
+
+class TestBox:
+    def test_from_lists(self):
+        space = Box(low=[-1.0, 0.0], high=[1.0, 2.0])
+        assert space.shape == (2,)
+        assert space.flat_dim == 2
+
+    def test_from_scalar_and_shape(self):
+        space = Box(low=-1.0, high=1.0, shape=(4,))
+        assert space.shape == (4,)
+        assert np.all(space.low == -1.0)
+
+    def test_contains(self):
+        space = Box(low=[-1.0, -1.0], high=[1.0, 1.0])
+        assert space.contains([0.0, 0.5])
+        assert not space.contains([0.0, 2.0])
+        assert not space.contains([0.0])
+
+    def test_sample_within_bounds(self, rng):
+        space = Box(low=[-2.0, 0.0], high=[2.0, 1.0])
+        for _ in range(50):
+            assert space.contains(space.sample(rng))
+
+    def test_sample_with_infinite_bounds(self, rng):
+        space = Box(low=[-np.inf], high=[np.inf])
+        sample = space.sample(rng)
+        assert np.isfinite(sample).all()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Box(low=[0.0, 1.0], high=[1.0])
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Box(low=[1.0], high=[0.0])
+
+    def test_equality(self):
+        assert Box(low=[0.0], high=[1.0]) == Box(low=[0.0], high=[1.0])
+        assert Box(low=[0.0], high=[1.0]) != Box(low=[0.0], high=[2.0])
+
+
+class TestMultiBinary:
+    def test_contains(self):
+        space = MultiBinary(3)
+        assert space.contains([0, 1, 0])
+        assert not space.contains([0, 2, 0])
+        assert not space.contains([0, 1])
+        assert not space.contains(5)
+
+    def test_sample(self, rng):
+        space = MultiBinary(8)
+        for _ in range(20):
+            assert space.contains(space.sample(rng))
+
+    def test_flat_dim(self):
+        assert MultiBinary(16).flat_dim == 16
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            MultiBinary(0)

@@ -1,0 +1,64 @@
+"""Unit tests for the species dynamics tracker."""
+
+import pytest
+
+from repro.analysis.species_tracker import SpeciesHistory, track_run
+from repro.neat import NEATConfig, Population
+
+
+def size_fitness(genomes, config):
+    for genome in genomes:
+        genome.fitness = float(genome.num_genes)
+
+
+@pytest.fixture
+def history():
+    config = NEATConfig.for_env(2, 1, pop_size=20)
+    config.species.compatibility_threshold = 1.5  # encourage splits
+    config.genome.node_add_prob = 0.4
+    population = Population(config, seed=0)
+    return track_run(population, size_fitness, generations=6)
+
+
+def test_snapshot_per_generation(history):
+    assert len(history.snapshots) == 6
+    assert [s.generation for s in history.snapshots] == list(range(6))
+
+
+def test_sizes_cover_population(history):
+    for snapshot in history.snapshots:
+        assert sum(snapshot.sizes.values()) == 20
+
+
+def test_dominance_bounds(history):
+    for value in history.dominance_series():
+        assert 0.0 < value <= 1.0
+
+
+def test_count_series_matches_snapshots(history):
+    assert history.count_series() == [s.num_species for s in history.snapshots]
+
+
+def test_lifetimes_positive(history):
+    lifetimes = history.lifetimes()
+    assert lifetimes
+    assert all(1 <= v <= 6 for v in lifetimes.values())
+
+
+def test_births_and_extinctions_consistent(history):
+    events = history.births_and_extinctions()
+    assert len(events) == 6
+    # first generation: every species is newly born
+    assert events[0]["born"] == set(history.snapshots[0].sizes)
+    assert events[0]["extinct"] == set()
+    # replaying births/extinctions reconstructs each snapshot's key set
+    alive = set()
+    for event, snapshot in zip(events, history.snapshots):
+        alive = (alive | event["born"]) - event["extinct"]
+        assert alive == set(snapshot.sizes)
+
+
+def test_speciation_actually_splits(history):
+    """With a tight threshold and structural pressure, the population
+    should not stay a single species for the whole run."""
+    assert max(history.count_series()) >= 2

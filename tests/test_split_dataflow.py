@@ -1,0 +1,85 @@
+"""Unit tests for the footnote-2 genome-split dataflow model."""
+
+import pytest
+
+from repro.hw.pe import CONFIG_LOAD_CYCLES, PIPELINE_DEPTH
+from repro.hw.split_dataflow import (
+    child_latency,
+    generation_estimate,
+    sweep_pes_per_child,
+)
+
+
+class TestChildLatency:
+    def test_single_pe_matches_baseline_pipeline(self):
+        est = child_latency(100, pes_per_child=1)
+        assert est.child_latency_cycles == CONFIG_LOAD_CYCLES + 100 + PIPELINE_DEPTH
+        assert est.merge_overhead_cycles == 0
+
+    def test_splitting_cuts_stream_time(self):
+        one = child_latency(100, 1)
+        four = child_latency(100, 4)
+        assert four.child_latency_cycles < one.child_latency_cycles
+
+    def test_splitting_adds_merge_overhead(self):
+        assert child_latency(100, 2).merge_overhead_cycles > 0
+        assert child_latency(100, 1).merge_overhead_cycles == 0
+
+    def test_diminishing_returns(self):
+        """Config+drain overheads dominate at high k: latency floors out."""
+        latencies = [child_latency(64, k).child_latency_cycles for k in (1, 2, 4, 8, 64)]
+        assert latencies == sorted(latencies, reverse=True)
+        assert latencies[-1] == CONFIG_LOAD_CYCLES + 1 + PIPELINE_DEPTH
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            child_latency(10, 0)
+
+
+class TestGenerationEstimate:
+    def test_k1_waves(self):
+        est = generation_estimate([50] * 8, num_pes=4, pes_per_child=1)
+        assert est.waves == 2
+        assert est.pe_slots_wasted == 0
+
+    def test_splitting_multiplies_waves(self):
+        base = generation_estimate([50] * 8, num_pes=4, pes_per_child=1)
+        split = generation_estimate([50] * 8, num_pes=4, pes_per_child=4)
+        assert split.waves == 8
+        assert split.waves > base.waves
+
+    def test_throughput_tradeoff(self):
+        """The footnote's implied conclusion: at high PE counts, 1 PE per
+        child maximises generation throughput; splitting only helps
+        latency when PEs outnumber children."""
+        lengths = [200] * 16
+        one = generation_estimate(lengths, num_pes=16, pes_per_child=1)
+        split = generation_estimate(lengths, num_pes=16, pes_per_child=4)
+        assert one.generation_cycles <= split.generation_cycles
+        # but with PEs to spare, splitting shortens the single-child tail
+        spare = generation_estimate([200], num_pes=16, pes_per_child=8)
+        assert spare.child_latency_cycles < one.child_latency_cycles
+
+    def test_wasted_slots_counted(self):
+        est = generation_estimate([50] * 3, num_pes=4, pes_per_child=1)
+        assert est.pe_slots_wasted == 1
+
+    def test_k_exceeding_pes_rejected(self):
+        with pytest.raises(ValueError):
+            generation_estimate([10], num_pes=2, pes_per_child=4)
+
+
+class TestSweep:
+    def test_rows_for_each_k(self):
+        rows = sweep_pes_per_child([100] * 8, num_pes=8, k_values=(1, 2, 4, 8))
+        assert [r.pes_per_child for r in rows] == [1, 2, 4, 8]
+
+    def test_oversized_k_skipped(self):
+        rows = sweep_pes_per_child([100] * 8, num_pes=4, k_values=(1, 2, 4, 8))
+        assert [r.pes_per_child for r in rows] == [1, 2, 4]
+
+    def test_merge_overhead_grows_with_k(self):
+        rows = sweep_pes_per_child([100] * 8, num_pes=8, k_values=(1, 2, 4))
+        merges = [r.merge_overhead_cycles for r in rows]
+        assert merges[0] == 0
+        assert merges[1] > 0

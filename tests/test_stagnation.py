@@ -1,0 +1,83 @@
+"""Unit tests for repro.neat.stagnation."""
+
+import random
+
+import pytest
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.species import SpeciesSet
+from repro.neat.stagnation import Stagnation
+
+
+@pytest.fixture
+def config():
+    cfg = NEATConfig.for_env(2, 1, pop_size=10)
+    cfg.species.max_stagnation = 3
+    cfg.species.species_elitism = 0
+    return cfg
+
+
+def make_species_set(config, fitness_histories):
+    """Build a SpeciesSet with hand-crafted fitness histories."""
+    rng = random.Random(0)
+    population = {}
+    species_set = SpeciesSet(config)
+    for i, _history in enumerate(fitness_histories):
+        g = Genome(i)
+        g.configure_new(config.genome, rng)
+        g.fitness = 0.0
+        population[i] = g
+    species_set.speciate(population, 0)
+    # Single species by construction: split manually.
+    species = next(iter(species_set.species.values()))
+    species_set.species.clear()
+    for i, history in enumerate(fitness_histories):
+        from repro.neat.species import Species
+
+        s = Species(i + 1, created_generation=0)
+        s.members = {i: population[i]}
+        s.representative = population[i]
+        s.fitness_history = list(history)
+        s.fitness = history[-1] if history else None
+        s.last_improved = 0
+        species_set.species[i + 1] = s
+    return species_set
+
+
+def test_improving_species_not_stagnant(config):
+    species_set = make_species_set(config, [[1.0, 2.0, 3.0]])
+    stagnation = Stagnation(config)
+    results = stagnation.update(species_set, generation=5)
+    # last_improved updated to 5 because 3.0 > max of earlier history
+    assert results[0][2] is False
+
+
+def test_flat_species_becomes_stagnant(config):
+    species_set = make_species_set(config, [[2.0, 2.0, 2.0, 2.0]])
+    stagnation = Stagnation(config)
+    results = stagnation.update(species_set, generation=5)
+    assert results[0][2] is True
+
+
+def test_species_elitism_protects_best(config):
+    config.species.species_elitism = 1
+    species_set = make_species_set(config, [[5.0, 5.0], [1.0, 1.0]])
+    stagnation = Stagnation(config)
+    results = {key: stagnant for key, _s, stagnant in stagnation.update(species_set, 10)}
+    # the fitter species is protected even though both are stagnant
+    fit_key = max(
+        species_set.species, key=lambda k: species_set.species[k].fitness
+    )
+    assert results[fit_key] is False
+    other = next(k for k in species_set.species if k != fit_key)
+    assert results[other] is True
+
+
+def test_recently_created_species_survives(config):
+    species_set = make_species_set(config, [[1.0]])
+    for s in species_set.species.values():
+        s.last_improved = 4
+    stagnation = Stagnation(config)
+    results = stagnation.update(species_set, generation=5)
+    assert results[0][2] is False
