@@ -47,11 +47,11 @@ def test_ablation_es_vs_neat_profile(benchmark, emit):
 
 
 def test_ablation_both_learn_cartpole(benchmark, emit):
-    from repro.core import evolve_software
+    from repro.api import Experiment, ExperimentSpec
 
-    neat_result = evolve_software(
+    neat_result = Experiment(ExperimentSpec(
         "CartPole-v0", max_generations=10, pop_size=30, seed=1, episodes=1
-    )
+    )).run()
     env = make("CartPole-v0", seed=0)
     es = EvolutionStrategies(
         env,
@@ -62,9 +62,9 @@ def test_ablation_both_learn_cartpole(benchmark, emit):
     es_best = es.run(generations=10, target=100.0)
     emit(
         f"CartPole after 10 generations: NEAT best "
-        f"{neat_result.best_genome.fitness:.0f}, ES best {es_best:.0f}"
+        f"{neat_result.best_fitness:.0f}, ES best {es_best:.0f}"
     )
-    assert neat_result.best_genome.fitness >= 60
+    assert neat_result.best_fitness >= 60
     assert es_best >= 30  # ES learns more slowly at this tiny budget
 
     benchmark(lambda: es.run_generation(99))

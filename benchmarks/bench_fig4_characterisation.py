@@ -7,10 +7,11 @@ measures the cost of one full NEAT generation (evaluate + reproduce).
 
 import pytest
 
+from conftest import bench_spec
 from repro.analysis.characterization import characterise_env
 from repro.analysis.reporting import render_series, render_table
+from repro.api import build_evaluator
 from repro.core.runner import config_for_env
-from repro.envs.evaluate import FitnessEvaluator
 from repro.neat.population import Population
 
 #: Fig. 4(a) plots these four workloads.
@@ -46,9 +47,13 @@ def test_fig4a_normalised_fitness(benchmark, emit):
         for curve in characterisation(env_id).normalised_fitness_curves():
             assert max(curve) == pytest.approx(1.0)
 
-    config = config_for_env("CartPole-v0", pop_size=20)
-    population = Population(config, seed=0)
-    evaluator = FitnessEvaluator("CartPole-v0", max_steps=60, seed=0)
+    spec = bench_spec("CartPole-v0")
+    config = config_for_env(spec.env_id, pop_size=spec.pop_size)
+    population = Population(config, seed=spec.seed)
+    evaluator = build_evaluator(
+        spec.env_id, max_steps=spec.max_steps, seed=spec.seed,
+        workers=spec.workers,
+    )
     benchmark(lambda: population.run_generation(evaluator))
 
 

@@ -12,8 +12,8 @@ rows/series appear in the benchmark log.
 
 import pytest
 
-from repro.analysis.characterization import record_workload
-from repro.core.trace import WorkloadTrace
+from repro.api import ExperimentSpec
+from repro.core.trace import TraceRecorder, WorkloadTrace
 from repro.envs.registry import EVALUATION_SUITE
 
 BENCH_POP = 20
@@ -35,14 +35,27 @@ def emit(capsys):
 _TRACE_CACHE = {}
 
 
+def bench_spec(env_id: str, pop_size: int = BENCH_POP,
+               generations: int = BENCH_GENERATIONS,
+               max_steps: int = BENCH_MAX_STEPS, seed: int = 0) -> ExperimentSpec:
+    """The laptop-scale spec every bench derives its runs from."""
+    return ExperimentSpec(
+        env_id,
+        max_generations=generations,
+        pop_size=pop_size,
+        max_steps=max_steps,
+        seed=seed,
+    )
+
+
 def get_trace(env_id: str, pop_size: int = BENCH_POP,
               generations: int = BENCH_GENERATIONS,
               max_steps: int = BENCH_MAX_STEPS, seed: int = 0) -> WorkloadTrace:
     key = (env_id, pop_size, generations, max_steps, seed)
     if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = record_workload(
-            env_id, generations=generations, pop_size=pop_size,
-            max_steps=max_steps, seed=seed,
+        spec = bench_spec(env_id, pop_size, generations, max_steps, seed)
+        _TRACE_CACHE[key] = TraceRecorder.from_spec(spec).record(
+            spec.max_generations
         )
     return _TRACE_CACHE[key]
 

@@ -19,7 +19,8 @@ from repro.analysis.reporting import (
     orders_of_magnitude,
     render_table,
 )
-from repro.core import TraceRecorder, evolve_on_hardware
+from repro.api import Experiment, ExperimentSpec
+from repro.core import TraceRecorder
 from repro.platforms import cpu_c, gpu_c
 
 
@@ -28,8 +29,9 @@ def main() -> None:
 
     print(f"evolving LunarLander-v2 on the GeneSys SoC model "
           f"({generations} generations, population 40) ...\n")
-    result = evolve_on_hardware(
+    spec = ExperimentSpec(
         "LunarLander-v2",
+        backend="soc",
         max_generations=generations,
         pop_size=40,
         episodes=1,
@@ -37,6 +39,7 @@ def main() -> None:
         max_steps=200,
         fitness_threshold=1e9,  # run the full budget
     )
+    result = Experiment(spec).run()
 
     rows = []
     for report in result.reports:
@@ -54,13 +57,15 @@ def main() -> None:
         title="Closed-loop learning on the SoC model",
     ))
 
-    best = result.best_genome
+    best = result.champion
     print(f"\nbest lander fitness {best.fitness:.1f} with "
           f"{best.size()[0]} enabled connections / {best.size()[1]} nodes")
 
-    # Compare against the embedded platforms for the same workload.
-    trace = TraceRecorder("LunarLander-v2", pop_size=40, seed=0,
-                          max_steps=200).record(min(3, generations))
+    # Compare against the embedded platforms for the same workload; the
+    # analytical backends are driven by the same spec shape.
+    trace = TraceRecorder.from_spec(
+        spec.replace(backend="software", fitness_threshold=None)
+    ).record(min(3, generations))
     workload = trace.mean_workload()
     genesys_energy = sum(r.energy.total_energy_j for r in result.reports) \
         / len(result.reports)

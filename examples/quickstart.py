@@ -1,11 +1,12 @@
 #!/usr/bin/env python
 """Quickstart: evolve a CartPole controller, in software and on GeneSys.
 
-Runs the same NEAT problem twice:
+Runs the same NEAT problem through the unified experiment API twice —
+one :class:`repro.api.ExperimentSpec`, two backends:
 
-1. pure software (the paper's CPU baseline path), and
-2. hardware-in-the-loop — reproduction executed by the EvE PE model on
-   packed 64-bit genes, inference by the ADAM systolic-array model —
+1. ``software`` — the paper's CPU baseline path, and
+2. ``soc`` — hardware-in-the-loop: reproduction executed by the EvE PE
+   model on packed 64-bit genes, inference by the ADAM systolic model —
 
 then prints what the hardware did: cycles, energy, SRAM traffic.
 
@@ -13,29 +14,29 @@ Usage:  python examples/quickstart.py
 """
 
 from repro.analysis.reporting import fmt_joules, fmt_seconds, render_table
-from repro.core import evolve_on_hardware, evolve_software
+from repro.api import Experiment, ExperimentSpec
 
 
 def main() -> None:
     print("=== GeneSys quickstart: CartPole-v0 ===\n")
 
-    print("[1/2] software NEAT (neat-python-style baseline) ...")
-    sw = evolve_software(
+    spec = ExperimentSpec(
         "CartPole-v0", max_generations=25, pop_size=60, episodes=2, seed=0
     )
+
+    print("[1/2] software NEAT (neat-python-style baseline) ...")
+    sw = Experiment(spec).run()
     print(
         f"  converged={sw.converged} after {sw.generations} generations; "
-        f"best fitness {sw.best_genome.fitness:.1f}; "
-        f"champion size {sw.best_genome.size()} (enabled conns, nodes)\n"
+        f"best fitness {sw.best_fitness:.1f}; "
+        f"champion size {sw.champion.size()} (enabled conns, nodes)\n"
     )
 
     print("[2/2] hardware-in-the-loop (EvE + ADAM models) ...")
-    hw = evolve_on_hardware(
-        "CartPole-v0", max_generations=25, pop_size=60, episodes=2, seed=0
-    )
+    hw = Experiment(spec.replace(backend="soc")).run()
     print(
         f"  converged={hw.converged} after {hw.generations} generations; "
-        f"best fitness {hw.best_genome.fitness:.1f}\n"
+        f"best fitness {hw.best_fitness:.1f}\n"
     )
 
     rows = []

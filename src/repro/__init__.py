@@ -11,8 +11,11 @@ Public API tour:
   simplified Box2D, synthetic Atari-RAM kernels).
 * :mod:`repro.hw` — cycle/energy models of the EvE evolution engine, the
   ADAM systolic inference engine, the banked genome SRAM and the NoC.
-* :mod:`repro.core` — the GeneSys SoC walkthrough loop and closed-loop
-  runners (software and hardware-in-the-loop).
+* :mod:`repro.api` — the unified experiment API: :class:`ExperimentSpec`
+  (JSON-round-trippable), pluggable backends (``software``, ``soc``,
+  ``analytical:<platform>``) and parallel fitness evaluation.
+* :mod:`repro.core` — the GeneSys SoC walkthrough loop and legacy
+  closed-loop runner shims.
 * :mod:`repro.platforms` — analytical CPU/GPU/GENESYS platform models for
   the paper's evaluation sweeps.
 * :mod:`repro.baselines` — DQN with exact op accounting (Table II).
@@ -20,18 +23,20 @@ Public API tour:
 
 Quickstart::
 
-    from repro.core import evolve_on_hardware
-    result = evolve_on_hardware("CartPole-v0", max_generations=20)
-    print(result.best_genome.fitness, result.total_energy_j)
+    from repro.api import Experiment, ExperimentSpec
+    spec = ExperimentSpec("CartPole-v0", backend="soc", max_generations=20)
+    result = Experiment(spec).run()
+    print(result.best_fitness, result.total_energy_j)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import analysis, baselines, core, envs, hw, neat, platforms
+from . import analysis, api, baselines, core, envs, hw, neat, platforms
 
 __all__ = [
     "__version__",
     "analysis",
+    "api",
     "baselines",
     "core",
     "envs",

@@ -1,0 +1,64 @@
+"""Unified experiment API: one spec, pluggable backends, parallel evaluation.
+
+The paper's central claim is that *the same* evolutionary loop runs across
+many substrates — a software CPU baseline, the EvE/ADAM SoC, the Table III
+platform models — and many workloads, with only the fitness function
+changing (Section III-B).  This package is that claim as an API:
+
+* :class:`ExperimentSpec` — a frozen, JSON-round-trippable description of
+  one experiment (workload + algorithm + backend + evaluation settings).
+* :class:`Experiment` — resolves a spec against a registered
+  :class:`Backend` and runs the closed loop.
+* :class:`Backend` — the substrate protocol.  Three implementations ship:
+  ``software`` (pure-software NEAT), ``soc`` (the EvE/ADAM hardware-in-
+  the-loop models) and ``analytical:<platform>`` (software evolution
+  costed through a Table III platform model).
+* :class:`RunResult` / :class:`GenerationMetrics` — the unified result
+  every backend returns, with optional hardware reports and energy/cycle
+  totals.
+* ``workers=N`` on the spec switches fitness evaluation to a
+  ``multiprocessing`` pool whose per-genome derived seeds make results
+  bit-identical to the serial path.
+
+Quickstart::
+
+    from repro.api import Experiment, ExperimentSpec
+
+    spec = ExperimentSpec("CartPole-v0", backend="soc", max_generations=20)
+    result = Experiment(spec).run()
+    print(result.best_fitness, result.total_energy_j)
+"""
+
+from .backends import (
+    AnalyticalBackend,
+    Backend,
+    SoCBackend,
+    SoftwareBackend,
+    UnknownBackendError,
+    available_backends,
+    make_backend,
+    register_backend,
+)
+from .experiment import Experiment, run_experiment
+from .parallel import ParallelFitnessEvaluator, build_evaluator
+from .result import GenerationMetrics, RunResult
+from .spec import ExperimentSpec, SpecError
+
+__all__ = [
+    "AnalyticalBackend",
+    "Backend",
+    "Experiment",
+    "ExperimentSpec",
+    "GenerationMetrics",
+    "ParallelFitnessEvaluator",
+    "RunResult",
+    "SoCBackend",
+    "SoftwareBackend",
+    "SpecError",
+    "UnknownBackendError",
+    "available_backends",
+    "build_evaluator",
+    "make_backend",
+    "register_backend",
+    "run_experiment",
+]

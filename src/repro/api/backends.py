@@ -1,0 +1,403 @@
+"""Pluggable experiment backends and their string-keyed registry.
+
+A :class:`Backend` is a substrate that can run the paper's evolutionary
+loop for an :class:`repro.api.ExperimentSpec`.  Three ship here,
+mirroring the paper's three evaluation substrates:
+
+``software``
+    Pure-software NEAT — the CPU baseline path (Section III).
+``soc``
+    The EvE/ADAM hardware-in-the-loop SoC models (Section IV): selection
+    on the System CPU, reproduction on the EvE PEs, inference on ADAM.
+``analytical:<platform>``
+    Software evolution costed through one of the Table III analytical
+    platform models (``CPU_a`` … ``GPU_d``, ``GENESYS``); adds modelled
+    per-generation runtime and energy to the metrics.
+
+The registry is string-keyed like :mod:`repro.envs.registry`; the part
+after a ``:`` parameterises the backend (the platform legend name).
+All backends return one unified :class:`repro.api.RunResult` and accept
+``on_generation`` / ``on_evaluation`` observer callbacks so analysis code
+never reaches into :class:`repro.neat.Population` internals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol
+
+from ..core.config import GeneSysConfig
+from ..core.runner import config_for_env
+from ..core.soc import GenerationReport, GeneSysSoC
+from ..core.trace import GenerationWorkload, _mean_depth
+from ..hw.energy import cycles_to_seconds
+from ..neat.genome import Genome
+from ..neat.population import Population
+from ..platforms import make_platform, platform_names
+from .parallel import build_evaluator
+from .result import GenerationMetrics, RunResult
+from .spec import ExperimentSpec
+
+#: Observer fired after each generation with its metrics.
+GenerationObserver = Callable[[GenerationMetrics], None]
+#: Observer fired once per generation, after fitness assignment, with the
+#: evaluated genomes (fitnesses set).
+EvaluationObserver = Callable[[int, List[Genome]], None]
+
+
+class UnknownBackendError(KeyError):
+    pass
+
+
+class Backend(Protocol):
+    """The substrate protocol: resolve a spec into a unified result."""
+
+    name: str
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        on_generation: Optional[GenerationObserver] = None,
+        on_evaluation: Optional[EvaluationObserver] = None,
+    ) -> RunResult:
+        ...  # pragma: no cover - protocol
+
+
+# ---------------------------------------------------------------------------
+# registry
+
+
+_REGISTRY: Dict[str, Callable[..., Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., Backend]) -> None:
+    """Register a backend factory under a base name.
+
+    The factory is called as ``factory(arg=<suffix or None>, **options)``
+    where ``<suffix>`` is the part after ``:`` in the requested name.
+    """
+    _REGISTRY[name] = factory
+
+
+def make_backend(name: str, **options) -> Backend:
+    """Instantiate a backend by registry key, e.g. ``analytical:GENESYS``."""
+    base, _, arg = name.partition(":")
+    if base not in _REGISTRY:
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; known: {available_backends()}"
+        )
+    return _REGISTRY[base](arg=arg or None, **options)
+
+
+def available_backends() -> List[str]:
+    """Every resolvable backend key, with analytical platforms expanded."""
+    names: List[str] = []
+    for base in sorted(_REGISTRY):
+        if base == "analytical":
+            names.extend(f"analytical:{p}" for p in platform_names())
+        else:
+            names.append(base)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# the shared software loop
+
+
+@dataclass
+class _SoftwareLoopResult:
+    population: Population
+    metrics: List[GenerationMetrics] = field(default_factory=list)
+    workloads: List[GenerationWorkload] = field(default_factory=list)
+
+
+def _run_software_loop(
+    spec: ExperimentSpec,
+    fitness_transform: Optional[Callable[[float], float]],
+    on_generation: Optional[GenerationObserver],
+    on_evaluation: Optional[EvaluationObserver],
+    decorate_metrics: Optional[
+        Callable[[GenerationMetrics, GenerationWorkload], None]
+    ] = None,
+    collect_workloads: bool = False,
+) -> _SoftwareLoopResult:
+    """Run software NEAT for a spec, emitting metrics per generation.
+
+    This is :meth:`repro.neat.Population.run` with observability: the
+    loop, the stop criterion and the evaluator seeding are identical, so
+    a fixed seed reproduces the legacy ``evolve_software`` path exactly.
+    ``decorate_metrics`` lets the analytical backend attach modelled
+    costs before the ``on_generation`` observer fires.
+    """
+    config = config_for_env(spec.env_id, spec.pop_size, spec.fitness_threshold)
+    population = Population(config, seed=spec.seed)
+    evaluator = build_evaluator(
+        spec.env_id,
+        episodes=spec.episodes,
+        max_steps=spec.max_steps,
+        seed=spec.seed,
+        fitness_transform=fitness_transform,
+        workers=spec.workers,
+    )
+    collect = collect_workloads or decorate_metrics is not None
+    threshold = config.fitness_threshold
+    out = _SoftwareLoopResult(population=population)
+    try:
+        for gen_index in range(spec.max_generations):
+            snapshot = dict(population.population) if collect else None
+
+            def fitness_function(genomes, cfg, _gen=gen_index):
+                evaluator(genomes, cfg)
+                if on_evaluation is not None:
+                    on_evaluation(_gen, genomes)
+
+            prev_steps = evaluator.totals.steps
+            prev_macs = evaluator.totals.macs
+            stats = population.run_generation(fitness_function)
+            env_steps = evaluator.totals.steps - prev_steps
+            macs = evaluator.totals.macs - prev_macs
+            metrics = GenerationMetrics(
+                generation=stats.generation,
+                best_fitness=stats.best_fitness,
+                mean_fitness=stats.mean_fitness,
+                num_species=stats.num_species,
+                num_genes=stats.num_genes,
+                footprint_bytes=stats.memory_footprint_bytes,
+                env_steps=env_steps,
+                inference_macs=macs,
+            )
+            if collect:
+                workload = GenerationWorkload(
+                    generation=stats.generation,
+                    population=stats.population_size,
+                    total_nodes=stats.num_nodes,
+                    total_connections=stats.num_connections,
+                    ops=stats.ops,
+                    env_steps=env_steps,
+                    inference_macs=macs,
+                    mean_network_depth=_mean_depth(snapshot, config.genome),
+                    fittest_parent_reuse=stats.fittest_parent_reuse,
+                )
+                out.workloads.append(workload)
+                if decorate_metrics is not None:
+                    decorate_metrics(metrics, workload)
+            out.metrics.append(metrics)
+            if on_generation is not None:
+                on_generation(metrics)
+            if threshold is not None and population.fitness_summary() >= threshold:
+                break
+    finally:
+        close = getattr(evaluator, "close", None)
+        if close is not None:
+            close()
+    if population.best_genome is None:
+        raise RuntimeError("no generations were evaluated")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# backends
+
+
+class SoftwareBackend:
+    """Pure-software NEAT: the paper's CPU/GPU baseline algorithm."""
+
+    name = "software"
+
+    def __init__(self, arg: Optional[str] = None,
+                 fitness_transform: Optional[Callable[[float], float]] = None) -> None:
+        if arg:
+            raise UnknownBackendError(
+                f"the software backend takes no ':{arg}' parameter"
+            )
+        self.fitness_transform = fitness_transform
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        on_generation: Optional[GenerationObserver] = None,
+        on_evaluation: Optional[EvaluationObserver] = None,
+    ) -> RunResult:
+        loop = _run_software_loop(
+            spec, self.fitness_transform, on_generation, on_evaluation
+        )
+        population = loop.population
+        return RunResult(
+            spec=spec,
+            backend=self.name,
+            champion=population.best_genome,
+            generations=population.generation,
+            converged=population.converged,
+            metrics=loop.metrics,
+            neat_config=population.config,
+            population=population,
+        )
+
+
+class AnalyticalBackend:
+    """Software evolution costed through a Table III platform model.
+
+    The loop (and therefore the champion) is identical to the software
+    backend; each generation's workload aggregates are fed to the chosen
+    platform's inference/evolution cost models, so the run carries the
+    modelled runtime and energy a real deployment on that platform would
+    exhibit (the per-generation bars of Fig. 9).
+    """
+
+    name = "analytical"
+
+    def __init__(self, arg: Optional[str] = None,
+                 platform: Optional[str] = None,
+                 fitness_transform: Optional[Callable[[float], float]] = None) -> None:
+        self.platform_name = arg or platform or "GENESYS"
+        try:
+            self.platform = make_platform(self.platform_name)
+        except KeyError as exc:
+            raise UnknownBackendError(
+                f"unknown analytical platform {self.platform_name!r}; "
+                f"known: {platform_names()}"
+            ) from exc
+        self.fitness_transform = fitness_transform
+        self.name = f"analytical:{self.platform_name}"
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        on_generation: Optional[GenerationObserver] = None,
+        on_evaluation: Optional[EvaluationObserver] = None,
+    ) -> RunResult:
+        def decorate(metrics: GenerationMetrics, workload: GenerationWorkload) -> None:
+            inference = self.platform.inference_cost(workload)
+            evolution = self.platform.evolution_cost(workload)
+            metrics.energy_j = inference.energy_j + evolution.energy_j
+            metrics.runtime_s = inference.runtime_s + evolution.runtime_s
+
+        loop = _run_software_loop(
+            spec, self.fitness_transform, on_generation, on_evaluation,
+            decorate_metrics=decorate,
+        )
+        population = loop.population
+        return RunResult(
+            spec=spec,
+            backend=self.name,
+            champion=population.best_genome,
+            generations=population.generation,
+            converged=population.converged,
+            metrics=loop.metrics,
+            neat_config=population.config,
+            total_energy_j=sum(m.energy_j for m in loop.metrics),
+            total_runtime_s=sum(m.runtime_s for m in loop.metrics),
+            population=population,
+        )
+
+
+class SoCBackend:
+    """Hardware-in-the-loop evolution on the EvE/ADAM SoC models.
+
+    The SoC model is a serial chip simulation, so ``spec.workers`` does
+    not apply here.  A caller-provided :class:`GeneSysConfig` is never
+    mutated: the spec's NEAT sizing and seed are applied to a copy
+    (``dataclasses.replace``), including the nested EvE block whose PE
+    registers the SoC reprograms.
+    """
+
+    name = "soc"
+
+    def __init__(self, arg: Optional[str] = None,
+                 soc_config: Optional[GeneSysConfig] = None) -> None:
+        if arg:
+            raise UnknownBackendError(
+                f"the soc backend takes no ':{arg}' parameter"
+            )
+        self.soc_config = soc_config
+
+    def _resolve_config(self, spec: ExperimentSpec) -> GeneSysConfig:
+        neat_config = config_for_env(
+            spec.env_id, spec.pop_size, spec.fitness_threshold
+        )
+        if self.soc_config is None:
+            config = GeneSysConfig.paper_design_point(neat=neat_config)
+            config.seed = spec.seed
+            return config
+        return dataclasses.replace(
+            self.soc_config,
+            neat=neat_config,
+            seed=spec.seed,
+            eve=dataclasses.replace(self.soc_config.eve),
+        )
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        on_generation: Optional[GenerationObserver] = None,
+        on_evaluation: Optional[EvaluationObserver] = None,
+    ) -> RunResult:
+        config = self._resolve_config(spec)
+        soc = GeneSysSoC(
+            config, spec.env_id, episodes=spec.episodes, max_steps=spec.max_steps
+        )
+        threshold = config.neat.fitness_threshold
+        metrics: List[GenerationMetrics] = []
+        for _ in range(spec.max_generations):
+            if not soc.population:
+                soc.initialise_population()
+            evaluated = list(soc.population.values())
+            report = soc.run_generation()
+            if on_evaluation is not None:
+                on_evaluation(report.generation, evaluated)
+            entry = self._metrics_from_report(report, config.frequency_hz)
+            metrics.append(entry)
+            if on_generation is not None:
+                on_generation(entry)
+            if threshold is not None and report.best_fitness >= threshold:
+                break
+        if soc.best_genome is None:
+            raise RuntimeError("no generations were evaluated")
+        champion = soc.best_genome
+        converged = (
+            threshold is not None
+            and champion.fitness is not None
+            and champion.fitness >= threshold
+        )
+        total_cycles = sum(
+            r.inference_cycles + r.evolution_cycles for r in soc.reports
+        )
+        return RunResult(
+            spec=spec,
+            backend=self.name,
+            champion=champion,
+            generations=soc.generation,
+            converged=converged,
+            metrics=metrics,
+            neat_config=config.neat,
+            total_energy_j=sum(r.energy.total_energy_j for r in soc.reports),
+            total_cycles=total_cycles,
+            total_runtime_s=cycles_to_seconds(total_cycles, config.frequency_hz),
+            reports=soc.reports,
+            soc=soc,
+        )
+
+    @staticmethod
+    def _metrics_from_report(
+        report: GenerationReport, frequency_hz: float
+    ) -> GenerationMetrics:
+        cycles = report.inference_cycles + report.evolution_cycles
+        return GenerationMetrics(
+            generation=report.generation,
+            best_fitness=report.best_fitness,
+            mean_fitness=report.mean_fitness,
+            num_species=report.num_species,
+            num_genes=report.num_genes,
+            footprint_bytes=report.footprint_bytes,
+            env_steps=report.env_steps,
+            inference_macs=report.inference.macs,
+            energy_j=report.energy.total_energy_j,
+            cycles=cycles,
+            runtime_s=cycles_to_seconds(cycles, frequency_hz),
+        )
+
+
+register_backend("software", SoftwareBackend)
+register_backend("soc", SoCBackend)
+register_backend("analytical", AnalyticalBackend)

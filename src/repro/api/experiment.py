@@ -1,0 +1,64 @@
+"""The experiment runner: resolve a spec against a backend and go.
+
+:class:`Experiment` is the single entry point the CLI, the examples, the
+benchmarks and the legacy runner shims all share.  Rich, non-JSON
+arguments (a custom :class:`repro.core.GeneSysConfig`, a fitness
+transform callable) are passed to the constructor; everything
+serialisable lives on the spec.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+from .backends import (
+    Backend,
+    EvaluationObserver,
+    GenerationObserver,
+    make_backend,
+)
+from .result import RunResult
+from .spec import ExperimentSpec
+
+
+class Experiment:
+    """One experiment: a spec plus the backend that will run it."""
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        soc_config=None,
+        fitness_transform: Optional[Callable[[float], float]] = None,
+    ) -> None:
+        self.spec = spec
+        options: Dict[str, Any] = dict(spec.backend_options)
+        if soc_config is not None:
+            options["soc_config"] = soc_config
+        if fitness_transform is not None:
+            options["fitness_transform"] = fitness_transform
+        self.backend: Backend = make_backend(spec.backend, **options)
+
+    def run(
+        self,
+        on_generation: Optional[GenerationObserver] = None,
+        on_evaluation: Optional[EvaluationObserver] = None,
+    ) -> RunResult:
+        """Run the closed loop to threshold or generation budget."""
+        return self.backend.run(
+            self.spec, on_generation=on_generation, on_evaluation=on_evaluation
+        )
+
+
+def run_experiment(
+    spec: Union[ExperimentSpec, str, Path],
+    on_generation: Optional[GenerationObserver] = None,
+    on_evaluation: Optional[EvaluationObserver] = None,
+    **experiment_kwargs,
+) -> RunResult:
+    """Convenience: run a spec object or a spec JSON file in one call."""
+    if not isinstance(spec, ExperimentSpec):
+        spec = ExperimentSpec.load(spec)
+    return Experiment(spec, **experiment_kwargs).run(
+        on_generation=on_generation, on_evaluation=on_evaluation
+    )

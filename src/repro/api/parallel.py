@@ -1,0 +1,186 @@
+"""Parallel fitness evaluation: the hot path of every benchmark.
+
+Population evaluation is embarrassingly parallel — each genome's rollouts
+are independent once the episode seeds are fixed.  The paper's per-genome
+derived seeds (see :class:`repro.envs.evaluate.FitnessEvaluator`) make
+this exact: seeds are computed in the parent with the *same* formula the
+serial evaluator uses, so ``workers=N`` produces bit-identical fitnesses
+to ``workers=1`` and results stay reproducible across machine sizes.
+
+Workers are plain ``multiprocessing`` pool processes; each builds its
+environment once in the pool initializer and re-uses it across
+generations, mirroring the serial evaluator's single-env loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, List, Optional, Tuple, Union
+
+from ..envs.evaluate import EvaluationTotals, FitnessEvaluator, run_episode
+from ..envs.registry import make
+from ..envs.seeding import derive_seed
+from ..neat.config import NEATConfig
+from ..neat.genome import Genome
+from ..neat.network import FeedForwardNetwork
+
+# Per-worker state, populated by the pool initializer: one env per
+# process, plus the genome config (shipped once, not once per task).
+_WORKER_ENV = None
+_WORKER_MAX_STEPS = None
+_WORKER_GENOME_CONFIG = None
+
+
+def _init_worker(env_id: str, max_steps: Optional[int], genome_config) -> None:
+    global _WORKER_ENV, _WORKER_MAX_STEPS, _WORKER_GENOME_CONFIG
+    _WORKER_ENV = make(env_id)
+    _WORKER_MAX_STEPS = max_steps
+    _WORKER_GENOME_CONFIG = genome_config
+
+
+def _evaluate_genome(task) -> Tuple[int, List[float], int, int]:
+    """Roll one genome out over its pre-derived episode seeds.
+
+    Returns ``(genome_key, rewards, env_steps, inference_macs)``; the
+    mean/transform happens in the parent so non-picklable fitness
+    transforms keep working.
+    """
+    genome, seeds = task
+    network = FeedForwardNetwork.create(genome, _WORKER_GENOME_CONFIG)
+    rewards: List[float] = []
+    steps = 0
+    macs = 0
+    for episode_seed in seeds:
+        _WORKER_ENV.seed(episode_seed)
+        result = run_episode(network, _WORKER_ENV, _WORKER_MAX_STEPS)
+        rewards.append(result.total_reward)
+        steps += result.steps
+        macs += result.inference_macs
+    return genome.key, rewards, steps, macs
+
+
+class ParallelFitnessEvaluator:
+    """Drop-in replacement for :class:`FitnessEvaluator` using a pool.
+
+    Same constructor surface plus ``workers``; same callable protocol
+    (``evaluator(genomes, config)``); same ``totals`` accounting.  Call
+    :meth:`close` (or use as a context manager) to release the pool —
+    the experiment runner does this automatically.
+    """
+
+    def __init__(
+        self,
+        env_id: str,
+        episodes: int = 1,
+        max_steps: Optional[int] = None,
+        seed: Optional[int] = 0,
+        fitness_transform: Optional[Callable[[float], float]] = None,
+        workers: int = 2,
+    ) -> None:
+        if workers < 2:
+            raise ValueError("ParallelFitnessEvaluator needs workers >= 2; "
+                             "use FitnessEvaluator for serial evaluation")
+        self.env_id = env_id
+        self.episodes = episodes
+        self.max_steps = max_steps
+        self.seed = seed
+        self.fitness_transform = fitness_transform
+        self.workers = workers
+        self.totals = EvaluationTotals()
+        self._generation = 0
+        self._pool = None
+        self._pool_genome_config = None
+
+    def _ensure_pool(self, genome_config):
+        # The genome config is baked into the workers at pool creation;
+        # if a caller re-uses this evaluator with a different config
+        # (rare), rebuild the pool rather than evaluate against stale
+        # structural parameters.
+        if self._pool is not None and genome_config != self._pool_genome_config:
+            self.close()
+        if self._pool is None:
+            self._pool = multiprocessing.get_context().Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self.env_id, self.max_steps, genome_config),
+            )
+            self._pool_genome_config = genome_config
+        return self._pool
+
+    def _episode_seeds(self, genome: Genome) -> List[int]:
+        # Exactly FitnessEvaluator's derivation — parity is load-bearing:
+        # serial and parallel runs must see identical episode streams.
+        return [
+            derive_seed(
+                self.seed,
+                (self._generation * 1_000_003 + genome.key) * 17 + episode,
+            )
+            for episode in range(self.episodes)
+        ]
+
+    def __call__(self, genomes: List[Genome], config: NEATConfig) -> None:
+        pool = self._ensure_pool(config.genome)
+        tasks = [
+            (genome, self._episode_seeds(genome)) for genome in genomes
+        ]
+        for genome, (key, rewards, steps, macs) in zip(
+            genomes, pool.map(_evaluate_genome, tasks)
+        ):
+            if key != genome.key:  # pool.map preserves order; belt and braces
+                raise RuntimeError(
+                    f"parallel evaluation order mismatch: {key} != {genome.key}"
+                )
+            fitness = sum(rewards) / len(rewards)
+            if self.fitness_transform is not None:
+                fitness = self.fitness_transform(fitness)
+            genome.fitness = fitness
+            self.totals.episodes += len(rewards)
+            self.totals.steps += steps
+            self.totals.macs += macs
+        self._generation += 1
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelFitnessEvaluator":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            if self._pool is not None:
+                self._pool.terminate()
+        except Exception:
+            pass
+
+
+def build_evaluator(
+    env_id: str,
+    episodes: int = 1,
+    max_steps: Optional[int] = None,
+    seed: Optional[int] = 0,
+    fitness_transform: Optional[Callable[[float], float]] = None,
+    workers: int = 1,
+) -> Union[FitnessEvaluator, ParallelFitnessEvaluator]:
+    """Serial evaluator for ``workers=1``, pool-backed otherwise."""
+    if workers <= 1:
+        return FitnessEvaluator(
+            env_id,
+            episodes=episodes,
+            max_steps=max_steps,
+            seed=seed,
+            fitness_transform=fitness_transform,
+        )
+    return ParallelFitnessEvaluator(
+        env_id,
+        episodes=episodes,
+        max_steps=max_steps,
+        seed=seed,
+        fitness_transform=fitness_transform,
+        workers=workers,
+    )

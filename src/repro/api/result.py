@@ -1,0 +1,99 @@
+"""The unified result record every backend returns.
+
+Backends differ in what they can measure — the software path counts env
+steps and MACs, the SoC model adds cycles and joules, the analytical
+platform models add modelled runtime/energy — but they all report through
+the same :class:`RunResult` so analysis code never needs to know which
+substrate produced a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..neat.genome import Genome
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.soc import GenerationReport, GeneSysSoC
+    from ..neat.config import NEATConfig
+    from ..neat.population import Population
+    from .spec import ExperimentSpec
+
+
+@dataclass
+class GenerationMetrics:
+    """One generation as every backend reports it.
+
+    ``energy_j``/``cycles``/``runtime_s`` stay ``None`` on backends that
+    cannot measure them (the software path has no energy model).
+    """
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    num_species: int
+    num_genes: int
+    footprint_bytes: int
+    env_steps: int = 0
+    inference_macs: int = 0
+    energy_j: Optional[float] = None
+    cycles: Optional[int] = None
+    runtime_s: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "generation": self.generation,
+            "best_fitness": self.best_fitness,
+            "mean_fitness": self.mean_fitness,
+            "num_species": self.num_species,
+            "num_genes": self.num_genes,
+            "footprint_bytes": self.footprint_bytes,
+            "env_steps": self.env_steps,
+            "inference_macs": self.inference_macs,
+            "energy_j": self.energy_j,
+            "cycles": self.cycles,
+            "runtime_s": self.runtime_s,
+        }
+
+
+@dataclass
+class RunResult:
+    """What :meth:`repro.api.Experiment.run` returns, for every backend.
+
+    ``population``/``soc``/``reports`` expose the substrate objects for
+    callers that need them (the deprecation shims, hardware analyses);
+    they are not part of the serialisable summary.
+    """
+
+    spec: "ExperimentSpec"
+    backend: str
+    champion: Genome
+    generations: int
+    converged: bool
+    metrics: List[GenerationMetrics] = field(default_factory=list)
+    neat_config: Optional["NEATConfig"] = None
+    total_energy_j: Optional[float] = None
+    total_cycles: Optional[int] = None
+    total_runtime_s: Optional[float] = None
+    reports: Optional[List["GenerationReport"]] = None
+    population: Optional["Population"] = None
+    soc: Optional["GeneSysSoC"] = None
+
+    @property
+    def best_fitness(self) -> float:
+        return self.champion.fitness if self.champion.fitness is not None else float("-inf")
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-friendly run summary (spec + outcomes + per-gen metrics)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "backend": self.backend,
+            "generations": self.generations,
+            "converged": self.converged,
+            "best_fitness": self.best_fitness,
+            "total_energy_j": self.total_energy_j,
+            "total_cycles": self.total_cycles,
+            "total_runtime_s": self.total_runtime_s,
+            "metrics": [m.to_dict() for m in self.metrics],
+        }

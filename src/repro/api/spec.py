@@ -1,0 +1,101 @@
+"""The experiment specification: one frozen record describes a whole run.
+
+An :class:`ExperimentSpec` composes the workload (environment id), the
+algorithm settings (generations, population, episodes), the substrate
+(backend name) and the evaluation settings (workers, seed, threshold).
+It round-trips through plain dicts and JSON so specs can live in files,
+be passed over the CLI (``--spec FILE``) and be sharded across machines
+without any pickling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+
+class SpecError(ValueError):
+    """Raised for invalid or inconsistent experiment specifications."""
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything needed to reproduce one experiment, JSON-serialisable.
+
+    ``backend`` is a registry key (``software``, ``soc``,
+    ``analytical:<platform>``); ``backend_options`` carries backend-
+    specific settings that must survive the JSON round-trip (anything
+    richer — e.g. a :class:`repro.core.GeneSysConfig` — is passed to
+    :class:`repro.api.Experiment` directly).
+    """
+
+    env_id: str
+    backend: str = "software"
+    max_generations: int = 50
+    pop_size: int = 150
+    episodes: int = 1
+    max_steps: Optional[int] = None
+    seed: int = 0
+    fitness_threshold: Optional[float] = None
+    workers: int = 1
+    backend_options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.env_id or not isinstance(self.env_id, str):
+            raise SpecError("env_id must be a non-empty string")
+        if not self.backend or not isinstance(self.backend, str):
+            raise SpecError("backend must be a non-empty string")
+        if self.max_generations < 1:
+            raise SpecError("max_generations must be >= 1")
+        if self.pop_size < 2:
+            raise SpecError("pop_size must be >= 2")
+        if self.episodes < 1:
+            raise SpecError("episodes must be >= 1")
+        if self.max_steps is not None and self.max_steps < 1:
+            raise SpecError("max_steps must be >= 1 when set")
+        if self.workers < 1:
+            raise SpecError("workers must be >= 1")
+
+    # -- derivation -------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "ExperimentSpec":
+        """A copy of this spec with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    # -- dict / JSON round-trip -------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["backend_options"] = dict(self.backend_options)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(f"unknown spec fields: {unknown}")
+        return cls(**dict(data))
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid spec JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise SpecError("spec JSON must be an object")
+        return cls.from_dict(data)
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "ExperimentSpec":
+        return cls.from_json(Path(path).read_text())

@@ -3,10 +3,19 @@
 Commands
 --------
 ``envs``                      list the environment suite (Table I)
-``run ENV``                   evolve ENV in software or on the SoC model
-``characterise ENV``          Fig. 4/5-style workload characterisation
-``platforms ENV``             Fig. 9-style platform runtime/energy matrix
+``backends``                  list the registered experiment backends
+``run [ENV]``                 evolve ENV on any registered backend
+``infer CHAMPION ENV``        roll out a saved champion
+``characterise [ENV]``        Fig. 4/5-style workload characterisation
+``platforms [ENV]``           Fig. 9-style platform runtime/energy matrix
 ``design-space``              Fig. 8 power/area sweep of the SoC
+
+``run``, ``characterise`` and ``platforms`` are spec-driven: flags build
+an :class:`repro.api.ExperimentSpec`, or ``--spec FILE`` loads one from
+JSON (explicit flags override the file).  ``--backend`` selects the
+substrate (``software``, ``soc``, ``analytical:<platform>``) and
+``--workers N`` parallelises fitness evaluation bit-identically to the
+serial path.
 """
 
 from __future__ import annotations
@@ -21,6 +30,50 @@ from .analysis.reporting import (
     fmt_seconds,
     render_table,
 )
+
+#: Fallbacks applied when neither a flag nor a spec file sets the field.
+_SPEC_DEFAULTS = {
+    "backend": "software",
+    "max_generations": 10,
+    "pop_size": 50,
+    "episodes": 1,
+    "seed": 0,
+    "workers": 1,
+}
+
+
+def _spec_from_args(args: argparse.Namespace):
+    """Build the experiment spec from CLI flags and/or a spec file."""
+    from .api import ExperimentSpec
+
+    backend = getattr(args, "backend", None)
+    if getattr(args, "hardware", False):
+        if backend is not None and backend != "soc":
+            raise SystemExit(
+                f"error: --hardware conflicts with --backend {backend}"
+            )
+        backend = "soc"
+    overrides = {
+        key: value
+        for key, value in {
+            "env_id": args.env,
+            "backend": backend,
+            "max_generations": args.generations,
+            "pop_size": args.population,
+            "episodes": args.episodes,
+            "seed": args.seed,
+            "max_steps": args.max_steps,
+            "workers": args.workers,
+            "fitness_threshold": args.fitness_threshold,
+        }.items()
+        if value is not None
+    }
+    if args.spec:
+        spec = ExperimentSpec.load(args.spec)
+        return spec.replace(**overrides) if overrides else spec
+    if "env_id" not in overrides:
+        raise SystemExit("error: an environment id or --spec FILE is required")
+    return ExperimentSpec(**{**_SPEC_DEFAULTS, **overrides})
 
 
 def _cmd_envs(_args: argparse.Namespace) -> int:
@@ -39,50 +92,67 @@ def _cmd_envs(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    if args.hardware:
-        from .core import evolve_on_hardware
+def _cmd_backends(_args: argparse.Namespace) -> int:
+    from .api import available_backends
 
-        result = evolve_on_hardware(
-            args.env, max_generations=args.generations, pop_size=args.population,
-            episodes=args.episodes, seed=args.seed, max_steps=args.max_steps,
-        )
+    print("Registered experiment backends:")
+    for name in available_backends():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .api import Experiment
+
+    spec = _spec_from_args(args)
+    result = Experiment(spec).run()
+
+    if spec.backend == "soc":
+        # Legacy "[hardware]" label kept for scripts that grep it.
         print(
-            f"[hardware] {args.env}: best fitness "
-            f"{result.best_genome.fitness:.2f} after {result.generations} "
+            f"[hardware] {spec.env_id}: best fitness "
+            f"{result.best_fitness:.2f} after {result.generations} "
             f"generations (converged={result.converged})"
         )
         print(
-            f"  chip time {fmt_seconds(result.total_cycles / 200e6)}, "
+            f"  chip time {fmt_seconds(result.total_runtime_s)}, "
             f"energy {fmt_joules(result.total_energy_j)}"
         )
-        best = result.best_genome
-        config = result.soc.config.neat
-    else:
-        from .core import evolve_software
-
-        result = evolve_software(
-            args.env, max_generations=args.generations, pop_size=args.population,
-            episodes=args.episodes, seed=args.seed, max_steps=args.max_steps,
-        )
+    elif spec.backend == "software":
         print(
-            f"[software] {args.env}: best fitness "
-            f"{result.best_genome.fitness:.2f} after {result.generations} "
+            f"[software] {spec.env_id}: best fitness "
+            f"{result.best_fitness:.2f} after {result.generations} "
             f"generations (converged={result.converged})"
         )
-        conns, nodes = result.best_genome.size()
+        conns, nodes = result.champion.size()
         print(f"  champion: {conns} enabled connections, {nodes} nodes")
-        best = result.best_genome
-        config = result.population.config
+    else:
+        print(
+            f"[{result.backend}] {spec.env_id}: best fitness "
+            f"{result.best_fitness:.2f} after {result.generations} "
+            f"generations (converged={result.converged})"
+        )
+        print(
+            f"  modelled platform time {fmt_seconds(result.total_runtime_s)}, "
+            f"energy {fmt_joules(result.total_energy_j)}"
+        )
+    if spec.workers > 1 and spec.backend != "soc":
+        # The SoC model is a serial chip simulation; only the software
+        # and analytical paths evaluate fitness in parallel.
+        print(f"  fitness evaluated with {spec.workers} workers "
+              f"(bit-identical to serial)")
     if args.show:
         from .analysis.netviz import describe_genome
 
-        print(describe_genome(best, config.genome))
+        print(describe_genome(result.champion, result.neat_config.genome))
     if args.save:
         from .neat.serialize import save_genome
 
-        save_genome(best, args.save, config=config)
+        save_genome(result.champion, args.save, config=result.neat_config)
         print(f"  champion saved to {args.save}")
+    if args.save_spec:
+        spec.save(args.save_spec)
+        print(f"  spec saved to {args.save_spec}")
     return 0
 
 
@@ -107,14 +177,24 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_software_backend(spec, command: str) -> None:
+    """characterise/platforms instrument the software NEAT loop; other
+    backends would be silently misleading, so reject them explicitly."""
+    if spec.backend != "software":
+        raise SystemExit(
+            f"error: '{command}' characterises the software path; "
+            f"--backend {spec.backend} is not supported here "
+            f"(use 'run --backend {spec.backend}' instead)"
+        )
+
+
 def _cmd_characterise(args: argparse.Namespace) -> int:
     from .core import TraceRecorder
 
-    recorder = TraceRecorder(
-        args.env, pop_size=args.population, seed=args.seed,
-        max_steps=args.max_steps,
-    )
-    trace = recorder.record(args.generations)
+    spec = _spec_from_args(args)
+    _require_software_backend(spec, "characterise")
+    recorder = TraceRecorder.from_spec(spec)
+    trace = recorder.record(spec.max_generations)
     rows = []
     for w in trace.workloads:
         rows.append([
@@ -126,8 +206,8 @@ def _cmd_characterise(args: argparse.Namespace) -> int:
         ["gen", "node genes", "conn genes", "ops", "footprint",
          "fittest reuse", "env steps"],
         rows,
-        title=f"Workload characterisation: {args.env} "
-              f"(population {args.population})",
+        title=f"Workload characterisation: {spec.env_id} "
+              f"(population {spec.pop_size})",
     ))
     return 0
 
@@ -136,10 +216,9 @@ def _cmd_platforms(args: argparse.Namespace) -> int:
     from .core import TraceRecorder
     from .platforms import all_platforms
 
-    trace = TraceRecorder(
-        args.env, pop_size=args.population, seed=args.seed,
-        max_steps=args.max_steps,
-    ).record(args.generations)
+    spec = _spec_from_args(args)
+    _require_software_backend(spec, "platforms")
+    trace = TraceRecorder.from_spec(spec).record(spec.max_generations)
     workload = trace.mean_workload()
     rows = []
     for platform in all_platforms():
@@ -157,7 +236,7 @@ def _cmd_platforms(args: argparse.Namespace) -> int:
         ["platform", "inf time/gen", "inf energy/gen",
          "evo time/gen", "evo energy/gen", "footprint"],
         rows,
-        title=f"Platform comparison on {args.env} (Fig. 9 style)",
+        title=f"Platform comparison on {spec.env_id} (Fig. 9 style)",
     ))
     return 0
 
@@ -190,21 +269,45 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("envs", help="list the environment suite").set_defaults(
         func=_cmd_envs
     )
+    sub.add_parser(
+        "backends", help="list the registered experiment backends"
+    ).set_defaults(func=_cmd_backends)
 
     def add_workload_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("env", help="environment id, e.g. CartPole-v0")
-        p.add_argument("--generations", type=int, default=10)
-        p.add_argument("--population", type=int, default=50)
-        p.add_argument("--episodes", type=int, default=1)
-        p.add_argument("--seed", type=int, default=0)
+        # Defaults are None so a --spec file only loses to flags the user
+        # actually typed; fallbacks live in _SPEC_DEFAULTS.
+        p.add_argument("env", nargs="?", default=None,
+                       help="environment id, e.g. CartPole-v0 "
+                            "(optional with --spec)")
+        p.add_argument("--spec", metavar="FILE",
+                       help="load an ExperimentSpec JSON file; explicit "
+                            "flags override its fields")
+        p.add_argument("--backend", metavar="NAME",
+                       help="experiment backend: software (default), soc, "
+                            "or analytical:<platform> (see 'backends')")
+        p.add_argument("--generations", type=int, default=None,
+                       help="generation budget (default 10)")
+        p.add_argument("--population", type=int, default=None,
+                       help="population size (default 50)")
+        p.add_argument("--episodes", type=int, default=None)
+        p.add_argument("--seed", type=int, default=None)
         p.add_argument("--max-steps", type=int, default=None)
+        p.add_argument("--workers", type=int, default=None,
+                       help="parallel fitness-evaluation workers "
+                            "(default 1; results are bit-identical)")
+        p.add_argument("--fitness-threshold", type=float, default=None,
+                       help="stop when this fitness is reached (defaults "
+                            "to the environment's solve threshold)")
 
     run = sub.add_parser("run", help="evolve an environment")
     add_workload_args(run)
     run.add_argument("--hardware", action="store_true",
-                     help="run the EvE/ADAM hardware-in-the-loop path")
+                     help="shorthand for --backend soc (EvE/ADAM "
+                          "hardware-in-the-loop path)")
     run.add_argument("--save", metavar="FILE",
                      help="save the champion genome (JSON)")
+    run.add_argument("--save-spec", metavar="FILE",
+                     help="save the resolved ExperimentSpec (JSON)")
     run.add_argument("--show", action="store_true",
                      help="print the champion's topology")
     run.set_defaults(func=_cmd_run)
@@ -234,7 +337,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    from .api import SpecError, UnknownBackendError
+    from .envs.registry import UnknownEnvironmentError
+
+    try:
+        return args.func(args)
+    except (SpecError, UnknownBackendError, UnknownEnvironmentError) as exc:
+        # KeyError subclasses repr-quote their message; unwrap it.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,21 +1,24 @@
-"""High-level closed-loop runners.
+"""High-level closed-loop runners (deprecated shims).
 
-:func:`evolve_software` — the paper's baseline path (neat-python style):
-software NEAT, software inference.
+These entry points predate the unified experiment API and are kept as
+thin, behaviour-identical shims over :class:`repro.api.Experiment`:
 
-:func:`evolve_on_hardware` — the GeneSys path: the same NEAT selection on
-the System CPU, but reproduction executed by the EvE PE model on packed
-64-bit genes and inference executed by the ADAM systolic model.  This is
-the "first system ... to perform evolutionary learning and inference on
-the same chip" loop, in simulation.
+:func:`evolve_software` — ``Experiment`` with ``backend="software"``.
+:func:`evolve_on_hardware` — ``Experiment`` with ``backend="soc"`` (the
+GeneSys path: NEAT selection on the System CPU, reproduction on the EvE
+PE model, inference on the ADAM systolic model).
+
+New code should build an :class:`repro.api.ExperimentSpec` instead —
+specs are JSON-serialisable, backend-agnostic and support parallel
+fitness evaluation (``workers=N``).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from ..envs.evaluate import FitnessEvaluator
 from ..envs.registry import make
 from ..neat.config import NEATConfig
 from ..neat.genome import Genome
@@ -67,6 +70,30 @@ def config_for_env(
     )
 
 
+def _build_spec(
+    env_id: str,
+    backend: str,
+    max_generations: int,
+    pop_size: int,
+    episodes: int,
+    max_steps: Optional[int],
+    seed: int,
+    fitness_threshold: Optional[float],
+):
+    from ..api import ExperimentSpec
+
+    return ExperimentSpec(
+        env_id=env_id,
+        backend=backend,
+        max_generations=max_generations,
+        pop_size=pop_size,
+        episodes=episodes,
+        max_steps=max_steps,
+        seed=seed,
+        fitness_threshold=fitness_threshold,
+    )
+
+
 def evolve_software(
     env_id: str,
     max_generations: int = 50,
@@ -76,18 +103,29 @@ def evolve_software(
     seed: int = 0,
     fitness_threshold: Optional[float] = None,
 ) -> SoftwareRunResult:
-    """Pure-software NEAT run (the CPU/GPU baseline algorithm)."""
-    config = config_for_env(env_id, pop_size, fitness_threshold)
-    population = Population(config, seed=seed)
-    evaluator = FitnessEvaluator(
-        env_id, episodes=episodes, max_steps=max_steps, seed=seed
+    """Pure-software NEAT run (the CPU/GPU baseline algorithm).
+
+    .. deprecated:: 1.1
+        Use ``Experiment(ExperimentSpec(env_id, backend="software"))``.
+    """
+    warnings.warn(
+        "evolve_software is deprecated; use repro.api.Experiment with "
+        'backend="software"',
+        DeprecationWarning,
+        stacklevel=2,
     )
-    best = population.run(evaluator, max_generations=max_generations)
+    from ..api import Experiment
+
+    spec = _build_spec(
+        env_id, "software", max_generations, pop_size, episodes, max_steps,
+        seed, fitness_threshold,
+    )
+    result = Experiment(spec).run()
     return SoftwareRunResult(
-        best_genome=best,
-        population=population,
-        generations=population.generation,
-        converged=population.converged,
+        best_genome=result.champion,
+        population=result.population,
+        generations=result.generations,
+        converged=result.converged,
     )
 
 
@@ -101,25 +139,31 @@ def evolve_on_hardware(
     fitness_threshold: Optional[float] = None,
     soc_config: Optional[GeneSysConfig] = None,
 ) -> HardwareRunResult:
-    """Closed-loop evolution through the EvE/ADAM hardware models."""
-    neat_config = config_for_env(env_id, pop_size, fitness_threshold)
-    if soc_config is None:
-        soc_config = GeneSysConfig.paper_design_point(neat=neat_config)
-    else:
-        soc_config.neat = neat_config
-    soc_config.seed = seed
-    soc = GeneSysSoC(soc_config, env_id, episodes=episodes, max_steps=max_steps)
-    best = soc.run(max_generations=max_generations)
-    threshold = neat_config.fitness_threshold
-    converged = (
-        threshold is not None
-        and best.fitness is not None
-        and best.fitness >= threshold
+    """Closed-loop evolution through the EvE/ADAM hardware models.
+
+    A caller-provided ``soc_config`` is no longer mutated in place; the
+    spec's NEAT sizing and seed are applied to a copy.
+
+    .. deprecated:: 1.1
+        Use ``Experiment(ExperimentSpec(env_id, backend="soc"))``.
+    """
+    warnings.warn(
+        "evolve_on_hardware is deprecated; use repro.api.Experiment with "
+        'backend="soc"',
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from ..api import Experiment
+
+    spec = _build_spec(
+        env_id, "soc", max_generations, pop_size, episodes, max_steps,
+        seed, fitness_threshold,
+    )
+    result = Experiment(spec, soc_config=soc_config).run()
     return HardwareRunResult(
-        best_genome=best,
-        soc=soc,
-        reports=soc.reports,
-        generations=soc.generation,
-        converged=converged,
+        best_genome=result.champion,
+        soc=result.soc,
+        reports=result.reports,
+        generations=result.generations,
+        converged=result.converged,
     )

@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..envs.evaluate import FitnessEvaluator
 from ..envs.registry import make
 from ..neat.config import NEATConfig
 from ..neat.genome import MutationCounts
@@ -187,6 +186,8 @@ class TraceRecorder:
         episodes: int = 1,
         max_steps: Optional[int] = None,
         seed: int = 0,
+        workers: int = 1,
+        fitness_threshold: Optional[float] = None,
     ) -> None:
         self.env_id = env_id
         env = make(env_id)
@@ -194,64 +195,93 @@ class TraceRecorder:
             env.num_observations,
             max(2, env.num_actions),
             pop_size=pop_size,
+            fitness_threshold=fitness_threshold,
         )
         self.episodes = episodes
         self.max_steps = max_steps
         self.seed = seed
+        self.workers = workers
+
+    @classmethod
+    def from_spec(cls, spec) -> "TraceRecorder":
+        """Build a recorder from an :class:`repro.api.ExperimentSpec`."""
+        return cls(
+            spec.env_id,
+            pop_size=spec.pop_size,
+            episodes=spec.episodes,
+            max_steps=spec.max_steps,
+            seed=spec.seed,
+            workers=spec.workers,
+            fitness_threshold=spec.fitness_threshold,
+        )
 
     def record(self, generations: int) -> WorkloadTrace:
+        from ..api.parallel import build_evaluator
+
         population = Population(self.config, seed=self.seed)
-        evaluator = FitnessEvaluator(
+        evaluator = build_evaluator(
             self.env_id,
             episodes=self.episodes,
             max_steps=self.max_steps,
             seed=self.seed,
+            workers=self.workers,
         )
         trace = WorkloadTrace(env_id=self.env_id)
+        threshold = self.config.fitness_threshold
         prev_steps = 0
         prev_macs = 0
-        for _ in range(generations):
-            pop_snapshot = dict(population.population)
-            population.run_generation(evaluator)
-            stats = population.statistics.generations[-1]
-            env_steps = evaluator.totals.steps - prev_steps
-            macs = evaluator.totals.macs - prev_macs
-            prev_steps = evaluator.totals.steps
-            prev_macs = evaluator.totals.macs
-            trace.workloads.append(
-                GenerationWorkload(
-                    generation=stats.generation,
-                    population=stats.population_size,
-                    total_nodes=stats.num_nodes,
-                    total_connections=stats.num_connections,
-                    ops=stats.ops,
-                    env_steps=env_steps,
-                    inference_macs=macs,
-                    mean_network_depth=_mean_depth(
-                        pop_snapshot, self.config.genome
-                    ),
-                    fittest_parent_reuse=stats.fittest_parent_reuse,
+        try:
+            for _ in range(generations):
+                pop_snapshot = dict(population.population)
+                population.run_generation(evaluator)
+                stats = population.statistics.generations[-1]
+                env_steps = evaluator.totals.steps - prev_steps
+                macs = evaluator.totals.macs - prev_macs
+                prev_steps = evaluator.totals.steps
+                prev_macs = evaluator.totals.macs
+                trace.workloads.append(
+                    GenerationWorkload(
+                        generation=stats.generation,
+                        population=stats.population_size,
+                        total_nodes=stats.num_nodes,
+                        total_connections=stats.num_connections,
+                        ops=stats.ops,
+                        env_steps=env_steps,
+                        inference_macs=macs,
+                        mean_network_depth=_mean_depth(
+                            pop_snapshot, self.config.genome
+                        ),
+                        fittest_parent_reuse=stats.fittest_parent_reuse,
+                    )
                 )
-            )
-            plan = population.last_plan
-            if plan is not None:
-                for event in plan.events:
-                    counts = event.counts
-                    for op, count in (
-                        ("crossover", counts.crossovers),
-                        ("perturb", counts.perturbations),
-                        ("add_node", counts.node_additions),
-                        ("del_node", counts.node_deletions),
-                        ("add_conn", counts.conn_additions),
-                        ("del_conn", counts.conn_deletions),
-                    ):
-                        if count:
-                            trace.lines.append(
-                                TraceLine(
-                                    generation=plan.generation,
-                                    genome_id=event.child_key,
-                                    op=op,
-                                    count=count,
+                plan = population.last_plan
+                if plan is not None:
+                    for event in plan.events:
+                        counts = event.counts
+                        for op, count in (
+                            ("crossover", counts.crossovers),
+                            ("perturb", counts.perturbations),
+                            ("add_node", counts.node_additions),
+                            ("del_node", counts.node_deletions),
+                            ("add_conn", counts.conn_additions),
+                            ("del_conn", counts.conn_deletions),
+                        ):
+                            if count:
+                                trace.lines.append(
+                                    TraceLine(
+                                        generation=plan.generation,
+                                        genome_id=event.child_key,
+                                        op=op,
+                                        count=count,
+                                    )
                                 )
-                            )
+                # Same stop criterion as Population.run and the api
+                # backends: a spec-driven characterise run must cover the
+                # same generations as the equivalent `run` invocation.
+                if threshold is not None and population.fitness_summary() >= threshold:
+                    break
+        finally:
+            close = getattr(evaluator, "close", None)
+            if close is not None:
+                close()
         return trace

@@ -40,7 +40,12 @@ def action_from_outputs(outputs: Sequence[float], env: Environment):
         return int(np.argmax(outputs[: space.n]))
     if isinstance(space, Box):
         arr = np.asarray(outputs[: space.flat_dim], dtype=np.float64)
-        return np.clip(arr, space.low.ravel()[: arr.size], space.high.ravel()[: arr.size])
+        if arr.size < space.flat_dim:
+            # Zero-fill missing dimensions (clipped into bounds below) so a
+            # network with fewer outputs than the action space still emits a
+            # full, in-bounds action instead of a silently short one.
+            arr = np.pad(arr, (0, space.flat_dim - arr.size))
+        return np.clip(arr, space.low.ravel(), space.high.ravel())
     if isinstance(space, MultiBinary):
         return [1 if o > 0.5 else 0 for o in outputs[: space.n]]
     raise TypeError(f"unsupported action space {space!r}")

@@ -43,7 +43,13 @@ class Population:
 
     # ------------------------------------------------------------------
 
-    def _fitness_summary(self) -> float:
+    def fitness_summary(self) -> float:
+        """Current population's fitness under ``config.fitness_criterion``.
+
+        This is the quantity the stop criterion compares against the
+        fitness threshold; exposing it lets external runners (the
+        :mod:`repro.api` backends) reproduce :meth:`run` exactly.
+        """
         fitnesses = [
             g.fitness for g in self.population.values() if g.fitness is not None
         ]
@@ -55,6 +61,9 @@ class Population:
         if criterion == "min":
             return min(fitnesses)
         return sum(fitnesses) / len(fitnesses)
+
+    # Backwards-compatible alias (pre-1.1 private name).
+    _fitness_summary = fitness_summary
 
     def run_generation(self, fitness_function: FitnessFunction) -> GenerationStats:
         """Evaluate the current population and breed the next one."""
@@ -108,7 +117,7 @@ class Population:
         )
         for _ in range(max_generations):
             self.run_generation(fitness_function)
-            if threshold is not None and self._fitness_summary() >= threshold:
+            if threshold is not None and self.fitness_summary() >= threshold:
                 break
         if self.best_genome is None:
             raise RuntimeError("no generations were evaluated")

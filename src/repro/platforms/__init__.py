@@ -38,6 +38,11 @@ def make_platform(name: str) -> Platform:
     return _FACTORIES[name]()
 
 
+def platform_names() -> List[str]:
+    """Legend names of every registered Table III platform."""
+    return sorted(_FACTORIES)
+
+
 def all_platforms() -> List[Platform]:
     return [factory() for factory in _FACTORIES.values()]
 
@@ -74,5 +79,6 @@ __all__ = [
     "gpu_c",
     "gpu_d",
     "make_platform",
+    "platform_names",
     "table3",
 ]

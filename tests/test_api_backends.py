@@ -1,0 +1,228 @@
+"""Unit tests for repro.api backends, registry and the Experiment runner."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    Experiment,
+    ExperimentSpec,
+    RunResult,
+    UnknownBackendError,
+    available_backends,
+    make_backend,
+    register_backend,
+)
+from repro.core.config import GeneSysConfig
+from repro.core.runner import evolve_on_hardware, evolve_software
+
+SMALL = dict(max_generations=3, pop_size=14, max_steps=40, seed=0)
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    return ExperimentSpec("CartPole-v0", **{**SMALL, **overrides})
+
+
+class TestRegistry:
+    def test_available_backends_lists_all_substrates(self):
+        names = available_backends()
+        assert "software" in names
+        assert "soc" in names
+        assert "analytical:GENESYS" in names
+        assert "analytical:CPU_a" in names
+
+    def test_unknown_backend(self):
+        with pytest.raises(UnknownBackendError, match="unknown backend"):
+            make_backend("fpga")
+
+    def test_unknown_analytical_platform(self):
+        with pytest.raises(UnknownBackendError, match="unknown analytical"):
+            make_backend("analytical:TPU_z")
+
+    def test_software_rejects_parameter(self):
+        with pytest.raises(UnknownBackendError):
+            make_backend("software:fast")
+
+    def test_custom_backend_registration(self):
+        class EchoBackend:
+            name = "echo"
+
+            def __init__(self, arg=None, **options):
+                self.arg = arg
+
+            def run(self, spec, on_generation=None, on_evaluation=None):
+                return spec
+
+        register_backend("echo", EchoBackend)
+        try:
+            backend = make_backend("echo:hi")
+            assert backend.arg == "hi"
+        finally:
+            from repro.api import backends as backends_mod
+
+            del backends_mod._REGISTRY["echo"]
+
+
+class TestBackendsRun:
+    def test_software_backend(self):
+        result = Experiment(small_spec()).run()
+        assert isinstance(result, RunResult)
+        assert result.backend == "software"
+        assert result.champion.fitness is not None
+        assert len(result.metrics) == result.generations
+        assert result.total_energy_j is None  # software measures no energy
+        assert result.population is not None
+
+    def test_soc_backend(self):
+        result = Experiment(small_spec(backend="soc")).run()
+        assert result.backend == "soc"
+        assert result.total_energy_j > 0
+        assert result.total_cycles > 0
+        assert result.total_runtime_s > 0
+        assert len(result.reports) == len(result.metrics)
+        assert all(m.energy_j is not None for m in result.metrics)
+
+    def test_analytical_backend(self):
+        result = Experiment(small_spec(backend="analytical:GENESYS")).run()
+        assert result.backend == "analytical:GENESYS"
+        assert result.total_energy_j > 0
+        assert result.total_runtime_s > 0
+        assert all(m.runtime_s is not None for m in result.metrics)
+
+    def test_analytical_matches_software_champion(self):
+        """The analytical backend only *costs* the run — the evolution
+        itself must be identical to the software path."""
+        sw = Experiment(small_spec()).run()
+        an = Experiment(small_spec(backend="analytical:CPU_a")).run()
+        assert sw.best_fitness == an.best_fitness
+        assert [m.best_fitness for m in sw.metrics] == \
+            [m.best_fitness for m in an.metrics]
+
+    def test_analytical_platforms_differ_in_cost_not_outcome(self):
+        cpu = Experiment(small_spec(backend="analytical:CPU_a")).run()
+        gen = Experiment(small_spec(backend="analytical:GENESYS")).run()
+        assert cpu.best_fitness == gen.best_fitness
+        assert cpu.total_energy_j != gen.total_energy_j
+
+    def test_summary_is_json_friendly(self):
+        import json
+
+        result = Experiment(small_spec()).run()
+        text = json.dumps(result.summary())
+        assert "best_fitness" in text
+
+    def test_fitness_threshold_stops_early(self):
+        unlimited = small_spec(max_generations=6, fitness_threshold=1e9)
+        result = Experiment(unlimited).run()
+        assert result.generations == 6
+        capped = small_spec(max_generations=6, fitness_threshold=5.0)
+        result = Experiment(capped).run()
+        assert result.generations < 6
+        assert result.converged
+
+
+class TestObservers:
+    def test_software_observers_fire(self):
+        generations, evaluations = [], []
+        spec = small_spec(fitness_threshold=1e9)
+        Experiment(spec).run(
+            on_generation=lambda m: generations.append(m.generation),
+            on_evaluation=lambda gen, genomes: evaluations.append(
+                (gen, len(genomes), all(g.fitness is not None for g in genomes))
+            ),
+        )
+        assert generations == [0, 1, 2]
+        assert [e[0] for e in evaluations] == [0, 1, 2]
+        # every evaluation observer saw a fully-evaluated population
+        assert all(ok for _gen, _n, ok in evaluations)
+
+    def test_soc_observers_fire(self):
+        generations, evaluations = [], []
+        spec = small_spec(backend="soc", fitness_threshold=1e9)
+        Experiment(spec).run(
+            on_generation=lambda m: generations.append(m.generation),
+            on_evaluation=lambda gen, genomes: evaluations.append(
+                all(g.fitness is not None for g in genomes)
+            ),
+        )
+        assert generations == [0, 1, 2]
+        assert all(evaluations)
+
+
+class TestLegacyShims:
+    def test_evolve_software_warns_and_matches_experiment(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = evolve_software(
+                "CartPole-v0", max_generations=3, pop_size=14,
+                max_steps=40, seed=0,
+            )
+        modern = Experiment(small_spec()).run()
+        assert legacy.best_genome.fitness == modern.best_fitness
+        assert legacy.generations == modern.generations
+        assert legacy.converged == modern.converged
+        legacy_series = [
+            s.best_fitness for s in legacy.population.statistics.generations
+        ]
+        modern_series = [m.best_fitness for m in modern.metrics]
+        assert legacy_series == modern_series
+
+    def test_evolve_on_hardware_warns_and_matches_experiment(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = evolve_on_hardware(
+                "CartPole-v0", max_generations=3, pop_size=14,
+                max_steps=40, seed=0,
+            )
+        modern = Experiment(small_spec(backend="soc")).run()
+        assert legacy.best_genome.fitness == modern.best_fitness
+        assert legacy.generations == modern.generations
+        assert legacy.total_energy_j == modern.total_energy_j
+        assert legacy.total_cycles == modern.total_cycles
+
+    def test_soc_config_not_mutated(self):
+        """Regression: evolve_on_hardware used to assign .neat/.seed on the
+        caller's GeneSysConfig in place."""
+        config = GeneSysConfig.paper_design_point()
+        original_neat = config.neat
+        original_eve = config.eve
+        original_pe = config.eve.pe
+        original_seed = config.seed
+        with pytest.warns(DeprecationWarning):
+            result = evolve_on_hardware(
+                "CartPole-v0", max_generations=1, pop_size=10,
+                max_steps=30, seed=7, soc_config=config,
+            )
+        assert config.neat is original_neat
+        assert config.neat.genome.num_inputs == 2  # default, not CartPole's 4
+        assert config.seed == original_seed
+        assert config.eve is original_eve
+        assert config.eve.pe is original_pe
+        # ... while the run itself used the spec's sizing and seed.
+        assert result.soc.config.neat.genome.num_inputs == 4
+        assert result.soc.config.seed == 7
+
+    def test_experiment_accepts_soc_config(self):
+        config = GeneSysConfig.paper_design_point()
+        result = Experiment(
+            small_spec(backend="soc", max_generations=1), soc_config=config
+        ).run()
+        assert result.soc.config is not config
+        assert result.best_fitness > 0
+
+    def test_soc_runtime_respects_config_frequency(self):
+        """runtime_s must follow the design point's clock, not the module
+        default."""
+        spec = small_spec(backend="soc", max_generations=1)
+        base = GeneSysConfig.paper_design_point()
+        fast = dataclasses.replace(
+            GeneSysConfig.paper_design_point(),
+            frequency_hz=base.frequency_hz * 2,
+        )
+        slow_run = Experiment(spec, soc_config=base).run()
+        fast_run = Experiment(spec, soc_config=fast).run()
+        assert slow_run.total_cycles == fast_run.total_cycles
+        assert fast_run.total_runtime_s == pytest.approx(
+            slow_run.total_runtime_s / 2
+        )
+        assert fast_run.metrics[0].runtime_s == pytest.approx(
+            slow_run.metrics[0].runtime_s / 2
+        )

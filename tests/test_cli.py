@@ -63,6 +63,148 @@ def test_design_space(capsys):
     assert "947" in out  # the paper's design point power
 
 
+def test_backends_command(capsys):
+    assert main(["backends"]) == 0
+    out = capsys.readouterr().out
+    assert "software" in out
+    assert "soc" in out
+    assert "analytical:GENESYS" in out
+
+
+def test_run_backend_flag_soc(capsys):
+    code = main([
+        "run", "CartPole-v0", "--backend", "soc", "--generations", "2",
+        "--population", "12", "--max-steps", "40",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "[hardware] CartPole-v0" in out
+
+
+def test_run_backend_analytical(capsys):
+    code = main([
+        "run", "CartPole-v0", "--backend", "analytical:GENESYS",
+        "--generations", "2", "--population", "12", "--max-steps", "40",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "[analytical:GENESYS] CartPole-v0" in out
+    assert "energy" in out
+
+
+def test_run_workers_flag(capsys):
+    code = main([
+        "run", "CartPole-v0", "--generations", "2", "--population", "12",
+        "--max-steps", "40", "--workers", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2 workers" in out
+
+
+def test_run_fitness_threshold_flag(capsys):
+    code = main([
+        "run", "CartPole-v0", "--generations", "5", "--population", "15",
+        "--max-steps", "40", "--fitness-threshold", "5",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "converged=True" in out
+
+
+def test_run_spec_file(tmp_path, capsys):
+    from repro.api import ExperimentSpec
+
+    path = tmp_path / "spec.json"
+    ExperimentSpec(
+        "CartPole-v0", max_generations=2, pop_size=12, max_steps=40
+    ).save(path)
+    assert main(["run", "--spec", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "[software] CartPole-v0" in out
+
+
+def test_run_spec_file_with_flag_override(tmp_path, capsys):
+    from repro.api import ExperimentSpec
+
+    path = tmp_path / "spec.json"
+    ExperimentSpec(
+        "CartPole-v0", max_generations=2, pop_size=12, max_steps=40
+    ).save(path)
+    assert main(["run", "--spec", str(path), "--backend", "soc"]) == 0
+    out = capsys.readouterr().out
+    assert "[hardware] CartPole-v0" in out
+
+
+def test_run_save_spec_round_trips(tmp_path):
+    from repro.api import ExperimentSpec
+
+    path = tmp_path / "out.json"
+    assert main([
+        "run", "CartPole-v0", "--generations", "2", "--population", "12",
+        "--max-steps", "40", "--save-spec", str(path),
+    ]) == 0
+    spec = ExperimentSpec.load(path)
+    assert spec.env_id == "CartPole-v0"
+    assert spec.max_generations == 2
+
+
+def test_characterise_workers(capsys):
+    code = main([
+        "characterise", "CartPole-v0", "--generations", "2",
+        "--population", "10", "--max-steps", "30", "--workers", "2",
+    ])
+    assert code == 0
+    assert "Workload characterisation" in capsys.readouterr().out
+
+
+def test_unknown_backend_clean_error(capsys):
+    assert main(["run", "CartPole-v0", "--backend", "fpga"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: unknown backend")
+    assert "software" in err
+
+
+def test_invalid_spec_clean_error(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text("{broken")
+    assert main(["run", "--spec", str(path)]) == 2
+    assert "invalid spec JSON" in capsys.readouterr().err
+
+
+def test_characterise_rejects_non_software_backend():
+    with pytest.raises(SystemExit, match="characterises the software path"):
+        main([
+            "characterise", "CartPole-v0", "--backend", "soc",
+            "--generations", "1",
+        ])
+
+
+def test_platforms_rejects_non_software_backend():
+    with pytest.raises(SystemExit, match="characterises the software path"):
+        main([
+            "platforms", "CartPole-v0", "--backend", "analytical:CPU_a",
+            "--generations", "1",
+        ])
+
+
+def test_soc_run_does_not_claim_parallel_workers(capsys):
+    code = main([
+        "run", "CartPole-v0", "--backend", "soc", "--generations", "1",
+        "--population", "10", "--max-steps", "30", "--workers", "4",
+    ])
+    assert code == 0
+    assert "workers" not in capsys.readouterr().out
+
+
+def test_hardware_conflicts_with_other_backend():
+    with pytest.raises(SystemExit):
+        main([
+            "run", "CartPole-v0", "--hardware", "--backend", "software",
+            "--generations", "1",
+        ])
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["warp"])

@@ -37,6 +37,24 @@ class TestActionTranslation:
         assert np.all(action <= 1.0) and np.all(action >= -1.0)
         assert action[2] == 0.5
 
+    def test_box_short_outputs_padded_to_full_dimension(self):
+        """Regression: a network with fewer outputs than the Box action
+        dimension used to yield a silently short action array."""
+        env = BipedalWalkerEnv(seed=0)
+        flat_dim = env.action_space.flat_dim
+        action = action_from_outputs([5.0, -5.0], env)
+        assert action.shape == (flat_dim,)
+        # Missing dimensions are zero-filled, then clipped into bounds.
+        assert action[0] == 1.0 and action[1] == -1.0
+        assert np.all(action[2:] == 0.0)
+        assert env.action_space.contains(action)
+
+    def test_box_extra_outputs_truncated(self):
+        env = BipedalWalkerEnv(seed=0)
+        flat_dim = env.action_space.flat_dim
+        action = action_from_outputs([0.1] * (flat_dim + 3), env)
+        assert action.shape == (flat_dim,)
+
     def test_discrete_two_output_argmax(self):
         env = CartPoleEnv(seed=0)
         assert action_from_outputs([0.2, 0.8], env) == 1
