@@ -139,6 +139,7 @@ def _run_software_loop(
         seed=spec.seed,
         fitness_transform=fitness_transform,
         workers=spec.workers,
+        vectorizer=spec.vectorizer,
     )
     collect = collect_workloads or decorate_metrics is not None
     threshold = config.fitness_threshold

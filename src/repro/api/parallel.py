@@ -10,6 +10,13 @@ to ``workers=1`` and results stay reproducible across machine sizes.
 Workers are plain ``multiprocessing`` pool processes; each builds its
 environment once in the pool initializer and re-uses it across
 generations, mirroring the serial evaluator's single-env loop.
+
+``vectorizer="numpy"`` composes with workers: each worker compiles its
+contiguous slice of the population into stacked dense plans
+(:mod:`repro.neat.compiled`) and rolls the slice's episodes out in
+lockstep, so large populations batch *within* processes while sharding
+*across* them.  Seeds still come from the parent with the serial
+formula, so all four paths (serial/pooled × scalar/numpy) agree.
 """
 
 from __future__ import annotations
@@ -19,21 +26,28 @@ from typing import Callable, List, Optional, Tuple, Union
 
 from ..envs.evaluate import EvaluationTotals, FitnessEvaluator, run_episode
 from ..envs.registry import make
-from ..envs.seeding import derive_seed
+from ..envs.seeding import episode_seed
+from ..neat.compiled import BatchedEvaluator, evaluate_genomes_batched
 from ..neat.config import NEATConfig
 from ..neat.genome import Genome
 from ..neat.network import FeedForwardNetwork
+from .spec import VECTORIZERS
 
 # Per-worker state, populated by the pool initializer: one env per
 # process, plus the genome config (shipped once, not once per task).
 _WORKER_ENV = None
+_WORKER_ENV_ID = None
+_WORKER_ENV_BATCH = None
 _WORKER_MAX_STEPS = None
 _WORKER_GENOME_CONFIG = None
 
 
 def _init_worker(env_id: str, max_steps: Optional[int], genome_config) -> None:
-    global _WORKER_ENV, _WORKER_MAX_STEPS, _WORKER_GENOME_CONFIG
+    global _WORKER_ENV, _WORKER_ENV_ID, _WORKER_ENV_BATCH
+    global _WORKER_MAX_STEPS, _WORKER_GENOME_CONFIG
     _WORKER_ENV = make(env_id)
+    _WORKER_ENV_ID = env_id
+    _WORKER_ENV_BATCH = None
     _WORKER_MAX_STEPS = max_steps
     _WORKER_GENOME_CONFIG = genome_config
 
@@ -50,13 +64,29 @@ def _evaluate_genome(task) -> Tuple[int, List[float], int, int]:
     rewards: List[float] = []
     steps = 0
     macs = 0
-    for episode_seed in seeds:
-        _WORKER_ENV.seed(episode_seed)
+    for seed_value in seeds:
+        _WORKER_ENV.seed(seed_value)
         result = run_episode(network, _WORKER_ENV, _WORKER_MAX_STEPS)
         rewards.append(result.total_reward)
         steps += result.steps
         macs += result.inference_macs
     return genome.key, rewards, steps, macs
+
+
+def _evaluate_chunk_vectorized(chunk) -> List[Tuple[int, List[float], int, int]]:
+    """Batch-evaluate a contiguous population slice inside one worker."""
+    global _WORKER_ENV_BATCH
+    if _WORKER_ENV_BATCH is None:
+        from ..envs.batched import make_batched
+
+        _WORKER_ENV_BATCH = make_batched(_WORKER_ENV_ID)
+    return evaluate_genomes_batched(
+        chunk,
+        _WORKER_GENOME_CONFIG,
+        _WORKER_ENV_BATCH,
+        max_steps=_WORKER_MAX_STEPS,
+        scalar_env=_WORKER_ENV,
+    )
 
 
 class ParallelFitnessEvaluator:
@@ -76,16 +106,22 @@ class ParallelFitnessEvaluator:
         seed: Optional[int] = 0,
         fitness_transform: Optional[Callable[[float], float]] = None,
         workers: int = 2,
+        vectorizer: str = "scalar",
     ) -> None:
         if workers < 2:
             raise ValueError("ParallelFitnessEvaluator needs workers >= 2; "
                              "use FitnessEvaluator for serial evaluation")
+        if vectorizer not in VECTORIZERS:
+            raise ValueError(
+                f"unknown vectorizer {vectorizer!r}; known: {VECTORIZERS}"
+            )
         self.env_id = env_id
         self.episodes = episodes
         self.max_steps = max_steps
         self.seed = seed
         self.fitness_transform = fitness_transform
         self.workers = workers
+        self.vectorizer = vectorizer
         self.totals = EvaluationTotals()
         self._generation = 0
         self._pool = None
@@ -108,13 +144,10 @@ class ParallelFitnessEvaluator:
         return self._pool
 
     def _episode_seeds(self, genome: Genome) -> List[int]:
-        # Exactly FitnessEvaluator's derivation — parity is load-bearing:
-        # serial and parallel runs must see identical episode streams.
+        # The one canonical derivation — parity is load-bearing: serial
+        # and parallel runs must see identical episode streams.
         return [
-            derive_seed(
-                self.seed,
-                (self._generation * 1_000_003 + genome.key) * 17 + episode,
-            )
+            episode_seed(self.seed, self._generation, genome.key, episode)
             for episode in range(self.episodes)
         ]
 
@@ -123,9 +156,23 @@ class ParallelFitnessEvaluator:
         tasks = [
             (genome, self._episode_seeds(genome)) for genome in genomes
         ]
-        for genome, (key, rewards, steps, macs) in zip(
-            genomes, pool.map(_evaluate_genome, tasks)
-        ):
+        if self.vectorizer == "numpy":
+            # Contiguous slices, one per worker: each slice is compiled,
+            # stacked and rolled out in lockstep inside its process.
+            bounds = [
+                (len(tasks) * w) // self.workers for w in range(self.workers + 1)
+            ]
+            chunks = [
+                tasks[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if lo < hi
+            ]
+            outcomes = [
+                outcome
+                for chunk_result in pool.map(_evaluate_chunk_vectorized, chunks)
+                for outcome in chunk_result
+            ]
+        else:
+            outcomes = pool.map(_evaluate_genome, tasks)
+        for genome, (key, rewards, steps, macs) in zip(genomes, outcomes):
             if key != genome.key:  # pool.map preserves order; belt and braces
                 raise RuntimeError(
                     f"parallel evaluation order mismatch: {key} != {genome.key}"
@@ -166,10 +213,22 @@ def build_evaluator(
     seed: Optional[int] = 0,
     fitness_transform: Optional[Callable[[float], float]] = None,
     workers: int = 1,
-) -> Union[FitnessEvaluator, ParallelFitnessEvaluator]:
-    """Serial evaluator for ``workers=1``, pool-backed otherwise."""
+    vectorizer: str = "scalar",
+) -> Union[FitnessEvaluator, ParallelFitnessEvaluator, BatchedEvaluator]:
+    """The evaluator for a (workers, vectorizer) combination.
+
+    ``workers=1`` stays in-process (scalar node-by-node walk, or the
+    compiled numpy batch engine); ``workers>1`` shards the population
+    over a pool, vectorizing within each worker when asked.  All four
+    combinations produce identical fitnesses for a fixed seed.
+    """
+    if vectorizer not in VECTORIZERS:
+        raise ValueError(
+            f"unknown vectorizer {vectorizer!r}; known: {VECTORIZERS}"
+        )
     if workers <= 1:
-        return FitnessEvaluator(
+        cls = BatchedEvaluator if vectorizer == "numpy" else FitnessEvaluator
+        return cls(
             env_id,
             episodes=episodes,
             max_steps=max_steps,
@@ -183,4 +242,5 @@ def build_evaluator(
         seed=seed,
         fitness_transform=fitness_transform,
         workers=workers,
+        vectorizer=vectorizer,
     )

@@ -21,6 +21,12 @@ class SpecError(ValueError):
     """Raised for invalid or inconsistent experiment specifications."""
 
 
+#: The inference strategies the software evolution loop understands —
+#: the single source of truth for spec validation and evaluator
+#: construction (:func:`repro.api.build_evaluator`).
+VECTORIZERS = ("scalar", "numpy")
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """Everything needed to reproduce one experiment, JSON-serialisable.
@@ -41,6 +47,12 @@ class ExperimentSpec:
     seed: int = 0
     fitness_threshold: Optional[float] = None
     workers: int = 1
+    #: Inference strategy for the software evolution loop: ``scalar``
+    #: walks each genome's graph node by node (the bit-compatible
+    #: reference), ``numpy`` compiles the population into stacked dense
+    #: plans and steps whole generations per numpy call
+    #: (:mod:`repro.neat.compiled`).
+    vectorizer: str = "scalar"
     backend_options: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -58,6 +70,10 @@ class ExperimentSpec:
             raise SpecError("max_steps must be >= 1 when set")
         if self.workers < 1:
             raise SpecError("workers must be >= 1")
+        if self.vectorizer not in VECTORIZERS:
+            raise SpecError(
+                f"vectorizer must be 'scalar' or 'numpy', got {self.vectorizer!r}"
+            )
 
     # -- derivation -------------------------------------------------------
 

@@ -64,6 +64,7 @@ def _spec_from_args(args: argparse.Namespace):
             "seed": args.seed,
             "max_steps": args.max_steps,
             "workers": args.workers,
+            "vectorizer": args.vectorizer,
             "fitness_threshold": args.fitness_threshold,
         }.items()
         if value is not None
@@ -141,6 +142,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # and analytical paths evaluate fitness in parallel.
         print(f"  fitness evaluated with {spec.workers} workers "
               f"(bit-identical to serial)")
+    if spec.vectorizer == "numpy":
+        if spec.backend == "soc":
+            # The SoC model simulates ADAM's own packed matrix-vector
+            # waves; the software vectorizer does not apply there.
+            print("  note: --vectorizer numpy is ignored by the soc backend")
+        else:
+            print("  inference vectorized (compiled numpy batch engine)")
     if args.show:
         from .analysis.netviz import describe_genome
 
@@ -295,6 +303,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=None,
                        help="parallel fitness-evaluation workers "
                             "(default 1; results are bit-identical)")
+        p.add_argument("--vectorizer", metavar="NAME", default=None,
+                       help="inference strategy for the software loop: "
+                            "scalar (default, node-by-node reference) or "
+                            "numpy (compiled batch engine)")
         p.add_argument("--fitness-threshold", type=float, default=None,
                        help="stop when this fitness is reached (defaults "
                             "to the environment's solve threshold)")

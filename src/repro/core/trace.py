@@ -187,6 +187,7 @@ class TraceRecorder:
         max_steps: Optional[int] = None,
         seed: int = 0,
         workers: int = 1,
+        vectorizer: str = "scalar",
         fitness_threshold: Optional[float] = None,
     ) -> None:
         self.env_id = env_id
@@ -201,6 +202,7 @@ class TraceRecorder:
         self.max_steps = max_steps
         self.seed = seed
         self.workers = workers
+        self.vectorizer = vectorizer
 
     @classmethod
     def from_spec(cls, spec) -> "TraceRecorder":
@@ -212,6 +214,7 @@ class TraceRecorder:
             max_steps=spec.max_steps,
             seed=spec.seed,
             workers=spec.workers,
+            vectorizer=spec.vectorizer,
             fitness_threshold=spec.fitness_threshold,
         )
 
@@ -225,6 +228,7 @@ class TraceRecorder:
             max_steps=self.max_steps,
             seed=self.seed,
             workers=self.workers,
+            vectorizer=self.vectorizer,
         )
         trace = WorkloadTrace(env_id=self.env_id)
         threshold = self.config.fitness_threshold

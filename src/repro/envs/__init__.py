@@ -10,6 +10,15 @@ from .atari_ram import (
     RAM_SIZE,
 )
 from .base import Environment
+from .batched import (
+    BatchedEnv,
+    LockstepEnvs,
+    VectorizedCartPole,
+    VectorizedMountainCar,
+    has_vectorized_env,
+    make_batched,
+    register_batched,
+)
 from .bipedal import BipedalWalkerEnv
 from .cartpole import CartPoleEnv
 from .evaluate import (
@@ -17,7 +26,9 @@ from .evaluate import (
     EvaluationTotals,
     FitnessEvaluator,
     action_from_outputs,
+    actions_from_outputs_batch,
     run_episode,
+    run_episodes_batched,
 )
 from .lunar_lander import LunarLanderEnv
 from .mountain_car import MountainCarEnv
@@ -42,6 +53,7 @@ __all__ = [
     "AmidarRamEnv",
     "AsterixRamEnv",
     "AtariRAMEnv",
+    "BatchedEnv",
     "BipedalWalkerEnv",
     "Box",
     "CANONICAL_IDS",
@@ -53,17 +65,25 @@ __all__ = [
     "EvaluationTotals",
     "EVALUATION_SUITE",
     "FitnessEvaluator",
+    "LockstepEnvs",
     "LunarLanderEnv",
     "MountainCarEnv",
     "MultiBinary",
     "RAM_SIZE",
     "Space",
     "UnknownEnvironmentError",
+    "VectorizedCartPole",
+    "VectorizedMountainCar",
     "action_from_outputs",
+    "actions_from_outputs_batch",
     "available",
     "derive_seed",
+    "has_vectorized_env",
     "make",
+    "make_batched",
     "make_rng",
     "register",
+    "register_batched",
     "run_episode",
+    "run_episodes_batched",
 ]

@@ -1,0 +1,265 @@
+"""Batched environments: many episode lanes stepped per call.
+
+The paper's SoC runs "n Environment Instances" against the inference
+engine (Fig. 6); the software mirror of that block is a *batched*
+environment that advances every in-flight episode in lockstep, so the
+vectorized inference path (:mod:`repro.neat.compiled`) can feed one
+packed observation matrix per step instead of one Python call per lane.
+
+Two implementations ship:
+
+* :class:`LockstepEnvs` — the generic fallback: wraps one scalar
+  :class:`repro.envs.Environment` per lane and steps each in Python.
+  Works for every registered environment; bit-identical to the scalar
+  path by construction.
+* Vectorized ports (:class:`VectorizedCartPole`,
+  :class:`VectorizedMountainCar`) — the whole physics update is numpy
+  over the lane axis.  The arithmetic replays the scalar ``_step``
+  operation-for-operation (numpy elementwise float64 ops are IEEE-754
+  identical to Python float ops, and this platform's ``np.cos``/``np.sin``
+  agree bitwise with ``math.cos``/``math.sin``), so trajectories match
+  the scalar environments exactly.
+
+A lane is one episode: it is seeded once via :meth:`BatchedEnv.start`
+and never restarts.  Finished lanes are dropped with :meth:`prune` so
+late steps only pay for live episodes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence, Tuple, Type
+
+import numpy as np
+
+from .base import Environment
+from .cartpole import CartPoleEnv
+from .mountain_car import MountainCarEnv
+from .registry import make
+from .seeding import make_rng
+from .spaces import Box, Discrete, MultiBinary
+
+#: step() result: (observations, rewards, dones) for the live lanes.
+BatchedStep = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+class BatchedEnv:
+    """Interface: n episode lanes advanced in lockstep.
+
+    ``start(seeds)`` opens one lane per seed and returns the stacked
+    initial observations; ``step(actions)`` advances every live lane;
+    ``prune(keep)`` drops finished lanes (boolean mask over the current
+    live lanes, in order).  Spaces and the step limit mirror the scalar
+    environment so action translation code is shared.
+    """
+
+    #: the scalar environment class this batches (set by subclasses)
+    env_id: str
+
+    observation_space = None
+    action_space = None
+    max_episode_steps: int = 1000
+
+    def start(self, seeds: Sequence[int]) -> np.ndarray:
+        raise NotImplementedError
+
+    def step(self, actions: np.ndarray) -> BatchedStep:
+        raise NotImplementedError
+
+    def prune(self, keep: np.ndarray) -> None:
+        raise NotImplementedError
+
+    @property
+    def num_lanes(self) -> int:
+        raise NotImplementedError
+
+
+class LockstepEnvs(BatchedEnv):
+    """Generic fallback: one scalar environment per lane, stepped in Python.
+
+    No numpy win on the physics, but the inference side still batches, and
+    every registered environment works unmodified.  Environments are kept
+    across generations (``start`` re-seeds them) to avoid rebuild cost.
+    """
+
+    def __init__(self, env_id: str) -> None:
+        self.env_id = env_id
+        template = make(env_id)
+        self.observation_space = template.observation_space
+        self.action_space = template.action_space
+        self.max_episode_steps = template.max_episode_steps
+        self._envs: List[Environment] = [template]
+        self._live: List[Environment] = []
+
+    def start(self, seeds: Sequence[int]) -> np.ndarray:
+        while len(self._envs) < len(seeds):
+            self._envs.append(make(self.env_id))
+        self._live = self._envs[: len(seeds)]
+        obs = np.empty((len(seeds), self.observation_space.flat_dim))
+        for i, (env, seed) in enumerate(zip(self._live, seeds)):
+            env.seed(seed)
+            obs[i] = env.reset().ravel()
+        return obs
+
+    def step(self, actions) -> BatchedStep:
+        n = len(self._live)
+        obs = np.empty((n, self.observation_space.flat_dim))
+        rewards = np.empty(n)
+        dones = np.empty(n, dtype=bool)
+        space = self.action_space
+        for i, env in enumerate(self._live):
+            action = actions[i]
+            if isinstance(space, Discrete):
+                action = int(action)
+            elif isinstance(space, MultiBinary):
+                action = [int(a) for a in action]
+            o, r, d, _info = env.step(action)
+            obs[i] = o.ravel()
+            rewards[i] = r
+            dones[i] = d
+        return obs, rewards, dones
+
+    def prune(self, keep: np.ndarray) -> None:
+        self._live = [env for env, k in zip(self._live, keep) if k]
+
+    @property
+    def num_lanes(self) -> int:
+        return len(self._live)
+
+
+class _StateMatrixEnv(BatchedEnv):
+    """Base for numpy-state ports: per-lane state rows, lockstep physics."""
+
+    #: scalar class mirrored (spaces / step limit / state sampler source)
+    scalar_cls: Type[Environment] = Environment
+
+    def __init__(self, env_id: str) -> None:
+        self.env_id = env_id
+        self.observation_space = self.scalar_cls.observation_space
+        self.action_space = self.scalar_cls.action_space
+        self.max_episode_steps = self.scalar_cls.max_episode_steps
+        self.state = np.empty((0, self.observation_space.flat_dim))
+        self._elapsed = 0
+
+    def start(self, seeds: Sequence[int]) -> np.ndarray:
+        rows = [self._initial_state(make_rng(seed)) for seed in seeds]
+        self.state = np.array(rows, dtype=np.float64).reshape(
+            len(rows), self.observation_space.flat_dim
+        )
+        self._elapsed = 0
+        return self.state.copy()
+
+    def step(self, actions) -> BatchedStep:
+        state, rewards, dones = self._step_batch(self.state, np.asarray(actions))
+        self.state = state
+        self._elapsed += 1
+        if self._elapsed >= self.max_episode_steps:
+            # gym TimeLimit semantics: every lane still alive is truncated.
+            dones = np.ones_like(dones)
+        # _step_batch builds a fresh state matrix every call, so the
+        # returned observations never alias a buffer that later mutates.
+        return state, rewards, dones
+
+    def prune(self, keep: np.ndarray) -> None:
+        self.state = self.state[keep]
+
+    @property
+    def num_lanes(self) -> int:
+        return len(self.state)
+
+    # -- subclass hooks ---------------------------------------------------
+
+    def _initial_state(self, rng) -> List[float]:
+        raise NotImplementedError
+
+    def _step_batch(
+        self, state: np.ndarray, actions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+
+class VectorizedCartPole(_StateMatrixEnv):
+    """CartPole physics over the lane axis; exact replay of the scalar port."""
+
+    scalar_cls = CartPoleEnv
+
+    def _initial_state(self, rng) -> List[float]:
+        return [rng.uniform(-0.05, 0.05) for _ in range(4)]
+
+    def _step_batch(self, state, actions):
+        c = self.scalar_cls
+        x, x_dot = state[:, 0], state[:, 1]
+        theta, theta_dot = state[:, 2], state[:, 3]
+        force = np.where(actions == 1, c.FORCE_MAG, -c.FORCE_MAG)
+        cos_theta = np.cos(theta)
+        sin_theta = np.sin(theta)
+        temp = (
+            force + c.POLE_MASS_LENGTH * theta_dot ** 2 * sin_theta
+        ) / c.TOTAL_MASS
+        theta_acc = (c.GRAVITY * sin_theta - cos_theta * temp) / (
+            c.LENGTH * (4.0 / 3.0 - c.MASS_POLE * cos_theta ** 2 / c.TOTAL_MASS)
+        )
+        x_acc = temp - c.POLE_MASS_LENGTH * theta_acc * cos_theta / c.TOTAL_MASS
+        x = x + c.TAU * x_dot
+        x_dot = x_dot + c.TAU * x_acc
+        theta = theta + c.TAU * theta_dot
+        theta_dot = theta_dot + c.TAU * theta_acc
+        next_state = np.stack([x, x_dot, theta, theta_dot], axis=1)
+        done = (
+            (x < -c.X_THRESHOLD)
+            | (x > c.X_THRESHOLD)
+            | (theta < -c.THETA_THRESHOLD)
+            | (theta > c.THETA_THRESHOLD)
+        )
+        return next_state, np.ones(len(x)), done
+
+
+class VectorizedMountainCar(_StateMatrixEnv):
+    """MountainCar physics over the lane axis; exact replay of the scalar port."""
+
+    scalar_cls = MountainCarEnv
+
+    def _initial_state(self, rng) -> List[float]:
+        return [rng.uniform(-0.6, -0.4), 0.0]
+
+    def _step_batch(self, state, actions):
+        c = self.scalar_cls
+        position, velocity = state[:, 0], state[:, 1]
+        # Parenthesised exactly like the scalar `velocity += a + b`:
+        # float addition is not associative, and bitwise replay is the
+        # contract.
+        velocity = velocity + (
+            (actions - 1) * c.FORCE + np.cos(3 * position) * (-c.GRAVITY)
+        )
+        velocity = np.clip(velocity, -c.MAX_SPEED, c.MAX_SPEED)
+        position = position + velocity
+        position = np.clip(position, c.MIN_POSITION, c.MAX_POSITION)
+        velocity = np.where((position <= c.MIN_POSITION) & (velocity < 0), 0.0, velocity)
+        next_state = np.stack([position, velocity], axis=1)
+        done = position >= c.GOAL_POSITION
+        return next_state, np.full(len(position), -1.0), done
+
+
+#: Environment ids with a numpy physics port; everything else falls back
+#: to :class:`LockstepEnvs`.  Extend via :func:`register_batched`.
+_BATCHED_REGISTRY: Dict[str, Callable[[str], BatchedEnv]] = {
+    "CartPole-v0": VectorizedCartPole,
+    "MountainCar-v0": VectorizedMountainCar,
+}
+
+
+def register_batched(env_id: str, factory: Callable[[str], BatchedEnv]) -> None:
+    """Register a vectorized port for an environment id."""
+    _BATCHED_REGISTRY[env_id] = factory
+
+
+def has_vectorized_env(env_id: str) -> bool:
+    """Whether ``env_id`` steps its physics in numpy (vs the lockstep fallback)."""
+    return env_id in _BATCHED_REGISTRY
+
+
+def make_batched(env_id: str) -> BatchedEnv:
+    """A batched environment for ``env_id``: numpy port if one exists,
+    else the generic per-lane lockstep fallback."""
+    factory = _BATCHED_REGISTRY.get(env_id, LockstepEnvs)
+    return factory(env_id)

@@ -18,7 +18,7 @@ from ..neat.genome import Genome
 from ..neat.network import FeedForwardNetwork
 from .base import Environment
 from .registry import make
-from .seeding import derive_seed
+from .seeding import episode_seed
 from .spaces import Box, Discrete, MultiBinary
 
 
@@ -28,6 +28,12 @@ def action_from_outputs(outputs: Sequence[float], env: Environment):
     Discrete spaces take the argmax output unit; Box spaces clip the raw
     outputs into the action bounds (step 4: "output activations ... are
     translated as actions").
+
+    Tie-breaking is part of the contract: when several output units share
+    the maximum activation, the *lowest-index* unit wins.  This keeps the
+    scalar, vectorized and hardware inference paths action-identical on
+    tied outputs instead of depending on whichever argmax an evaluation
+    backend happens to use.
     """
     space = env.action_space
     if isinstance(space, Discrete):
@@ -37,7 +43,12 @@ def action_from_outputs(outputs: Sequence[float], env: Environment):
                 return int(outputs[0] > 0.5 if 0.0 <= outputs[0] <= 1.0 else outputs[0] > 0.0)
             scaled = int(abs(outputs[0]) * space.n) % space.n
             return scaled
-        return int(np.argmax(outputs[: space.n]))
+        head = outputs[: space.n]
+        best = 0
+        for i in range(1, len(head)):
+            if head[i] > head[best]:  # strict: ties keep the lowest index
+                best = i
+        return best
     if isinstance(space, Box):
         arr = np.asarray(outputs[: space.flat_dim], dtype=np.float64)
         if arr.size < space.flat_dim:
@@ -48,6 +59,41 @@ def action_from_outputs(outputs: Sequence[float], env: Environment):
         return np.clip(arr, space.low.ravel(), space.high.ravel())
     if isinstance(space, MultiBinary):
         return [1 if o > 0.5 else 0 for o in outputs[: space.n]]
+    raise TypeError(f"unsupported action space {space!r}")
+
+
+def actions_from_outputs_batch(outputs: np.ndarray, space) -> np.ndarray:
+    """Vectorized :func:`action_from_outputs` over a lane axis.
+
+    ``outputs`` is ``(lanes, num_outputs)``; the result holds one action
+    per row with semantics identical to the scalar translator, including
+    lowest-index tie-breaking for Discrete argmax.  Discrete returns an
+    int array, Box a ``(lanes, flat_dim)`` float array, MultiBinary a
+    ``(lanes, n)`` int array.
+    """
+    outputs = np.asarray(outputs, dtype=np.float64)
+    if isinstance(space, Discrete):
+        if outputs.shape[1] == 1:
+            o = outputs[:, 0]
+            if space.n == 2:
+                in_unit = (o >= 0.0) & (o <= 1.0)
+                return np.where(in_unit, o > 0.5, o > 0.0).astype(np.intp)
+            # Mirror the scalar `int(abs(o) * n) % n` in float space:
+            # floor matches int() on the non-negative product, and fmod on
+            # the (exactly representable) floored value matches Python's
+            # integer modulo even where a direct int64 cast would overflow
+            # for huge activations.
+            return np.fmod(np.floor(np.abs(o) * space.n), space.n).astype(np.intp)
+        # np.argmax returns the first (lowest-index) maximum, matching the
+        # scalar tie-break contract.
+        return np.argmax(outputs[:, : space.n], axis=1)
+    if isinstance(space, Box):
+        arr = outputs[:, : space.flat_dim]
+        if arr.shape[1] < space.flat_dim:
+            arr = np.pad(arr, ((0, 0), (0, space.flat_dim - arr.shape[1])))
+        return np.clip(arr, space.low.ravel(), space.high.ravel())
+    if isinstance(space, MultiBinary):
+        return (outputs[:, : space.n] > 0.5).astype(np.intp)
     raise TypeError(f"unsupported action space {space!r}")
 
 
@@ -99,6 +145,49 @@ def run_episode(
     return EpisodeResult(total_reward, steps, macs_per_pass * steps)
 
 
+def run_episodes_batched(
+    policy,
+    env_batch,
+    seeds: Sequence[int],
+    max_steps: Optional[int] = None,
+    macs_per_pass: Optional[Sequence[int]] = None,
+) -> List[EpisodeResult]:
+    """Batched :func:`run_episode`: one lane per seed, stepped in lockstep.
+
+    ``policy`` maps a packed observation matrix to a packed output matrix
+    (``step(obs) -> outputs``) and is told when lanes finish
+    (``prune(keep)``) so it can compact its per-lane state alongside
+    ``env_batch``.  Rewards accumulate per lane in step order, so each
+    lane's float arithmetic matches the scalar episode loop exactly.
+    """
+    n = len(seeds)
+    obs = env_batch.start(seeds)
+    limit = max_steps if max_steps is not None else env_batch.max_episode_steps
+    space = env_batch.action_space
+    rewards = np.zeros(n)
+    steps = np.zeros(n, dtype=np.int64)
+    live = np.arange(n)
+    for _ in range(limit):
+        if len(live) == 0:
+            break
+        outputs = policy.step(obs)
+        actions = actions_from_outputs_batch(outputs, space)
+        obs, step_rewards, dones = env_batch.step(actions)
+        rewards[live] += step_rewards
+        steps[live] += 1
+        if dones.any():
+            keep = ~dones
+            live = live[keep]
+            obs = obs[keep]
+            env_batch.prune(keep)
+            policy.prune(keep)
+    per_pass = macs_per_pass if macs_per_pass is not None else [0] * n
+    return [
+        EpisodeResult(float(rewards[i]), int(steps[i]), int(per_pass[i]) * int(steps[i]))
+        for i in range(n)
+    ]
+
+
 class FitnessEvaluator:
     """Callable fitness function for :class:`repro.neat.Population`.
 
@@ -132,10 +221,7 @@ class FitnessEvaluator:
             rewards = []
             for episode in range(self.episodes):
                 env.seed(
-                    derive_seed(
-                        self.seed,
-                        (self._generation * 1_000_003 + genome.key) * 17 + episode,
-                    )
+                    episode_seed(self.seed, self._generation, genome.key, episode)
                 )
                 result = run_episode(network, env, self.max_steps)
                 rewards.append(result.total_reward)

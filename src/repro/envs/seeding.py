@@ -23,3 +23,17 @@ def derive_seed(base_seed: Optional[int], stream: int) -> Optional[int]:
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
     z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
     return (z ^ (z >> 31)) & 0x7FFFFFFF
+
+
+def episode_seed(
+    base_seed: Optional[int], generation: int, genome_key: int, episode: int
+) -> Optional[int]:
+    """The canonical per-(generation, genome, episode) seed stream.
+
+    Every fitness evaluator — serial, pooled, vectorized — derives its
+    episode seeds through this one formula; that shared derivation is
+    what makes their results bit-identical for a fixed experiment seed.
+    """
+    return derive_seed(
+        base_seed, (generation * 1_000_003 + genome_key) * 17 + episode
+    )

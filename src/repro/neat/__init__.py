@@ -42,6 +42,15 @@ from .serialize import (
     save_genome,
     save_population,
 )
+from .compiled import (
+    BatchedEvaluator,
+    CompileError,
+    CompiledNetwork,
+    StackedPlans,
+    compile_network,
+    register_vectorized_activation,
+    vectorized_activation_names,
+)
 from .network import FeedForwardNetwork, feed_forward_layers, required_for_output
 from .population import Population
 from .reproduction import (
@@ -62,10 +71,14 @@ __all__ = [
     "AGGREGATION_NAMES",
     "AggregationFunctionSet",
     "BaseGene",
+    "BatchedEvaluator",
+    "CompileError",
+    "CompiledNetwork",
     "CompleteExtinctionError",
     "ConfigError",
     "ConnectionGene",
     "FeedForwardNetwork",
+    "StackedPlans",
     "GENE_BYTES",
     "GenerationStats",
     "Genome",
@@ -84,9 +97,12 @@ __all__ = [
     "SpeciesSet",
     "Stagnation",
     "StatisticsReporter",
+    "compile_network",
     "creates_cycle",
     "feed_forward_layers",
     "gene_sort_key",
+    "register_vectorized_activation",
     "required_for_output",
     "sorted_genes",
+    "vectorized_activation_names",
 ]

@@ -40,6 +40,27 @@ class TestBuildEvaluator:
         with pytest.raises(ValueError):
             ParallelFitnessEvaluator("CartPole-v0", workers=1)
 
+    def test_batched_for_numpy_vectorizer(self):
+        from repro.neat.compiled import BatchedEvaluator
+
+        assert isinstance(
+            build_evaluator("CartPole-v0", workers=1, vectorizer="numpy"),
+            BatchedEvaluator,
+        )
+
+    def test_parallel_carries_vectorizer(self):
+        evaluator = build_evaluator(
+            "CartPole-v0", workers=2, vectorizer="numpy"
+        )
+        assert isinstance(evaluator, ParallelFitnessEvaluator)
+        assert evaluator.vectorizer == "numpy"
+        evaluator.close()
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_unknown_vectorizer_rejected(self, workers):
+        with pytest.raises(ValueError, match="vectorizer"):
+            build_evaluator("CartPole-v0", workers=workers, vectorizer="cuda")
+
 
 class TestDeterminism:
     def test_parallel_matches_serial_fitness_map(self):
@@ -72,6 +93,22 @@ class TestDeterminism:
             [m.env_steps for m in parallel.metrics]
         assert serial.champion.fitness == parallel.champion.fitness
         assert serial.generations == parallel.generations
+
+    def test_pooled_vectorized_matches_serial_fitness_map(self):
+        """workers=2 + numpy: each worker batch-evaluates its slice;
+        fitnesses and totals must still be bit-identical to serial."""
+        serial_fits, serial_totals = _fitness_map(
+            FitnessEvaluator("CartPole-v0", episodes=2, max_steps=60, seed=11)
+        )
+        with ParallelFitnessEvaluator(
+            "CartPole-v0", episodes=2, max_steps=60, seed=11, workers=2,
+            vectorizer="numpy",
+        ) as pooled:
+            pooled_fits, pooled_totals = _fitness_map(pooled)
+        assert pooled_fits == serial_fits
+        assert pooled_totals.episodes == serial_totals.episodes
+        assert pooled_totals.steps == serial_totals.steps
+        assert pooled_totals.macs == serial_totals.macs
 
     def test_fitness_transform_applies_in_parent(self):
         with ParallelFitnessEvaluator(

@@ -35,10 +35,16 @@ class TestConstruction:
         {"env_id": "CartPole-v0", "episodes": 0},
         {"env_id": "CartPole-v0", "max_steps": 0},
         {"env_id": "CartPole-v0", "workers": 0},
+        {"env_id": "CartPole-v0", "vectorizer": "cuda"},
+        {"env_id": "CartPole-v0", "vectorizer": ""},
     ])
     def test_validation(self, kwargs):
         with pytest.raises(SpecError):
             ExperimentSpec(**kwargs)
+
+    def test_vectorizer_default_scalar(self):
+        assert ExperimentSpec("CartPole-v0").vectorizer == "scalar"
+        assert ExperimentSpec("CartPole-v0", vectorizer="numpy").vectorizer == "numpy"
 
 
 class TestRoundTrip:
@@ -46,7 +52,7 @@ class TestRoundTrip:
         spec = ExperimentSpec(
             "LunarLander-v2", backend="analytical:GENESYS",
             max_generations=7, pop_size=24, episodes=2, max_steps=123,
-            seed=9, fitness_threshold=200.0, workers=3,
+            seed=9, fitness_threshold=200.0, workers=3, vectorizer="numpy",
             backend_options={"platform": "GENESYS"},
         )
         assert ExperimentSpec.from_dict(spec.to_dict()) == spec

@@ -172,6 +172,87 @@ def test_invalid_spec_clean_error(tmp_path, capsys):
     assert "invalid spec JSON" in capsys.readouterr().err
 
 
+def test_unknown_vectorizer_clean_error(capsys):
+    code = main([
+        "run", "CartPole-v0", "--vectorizer", "fpga", "--generations", "1",
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: vectorizer must be 'scalar' or 'numpy'")
+    assert "fpga" in err
+
+
+def test_unknown_vectorizer_in_spec_file_clean_error(tmp_path, capsys):
+    path = tmp_path / "spec.json"
+    path.write_text(
+        '{"env_id": "CartPole-v0", "vectorizer": "cuda"}'
+    )
+    assert main(["run", "--spec", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: vectorizer must be")
+
+
+def test_missing_spec_file_clean_error(tmp_path, capsys):
+    assert main(["run", "--spec", str(tmp_path / "nope.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_spec_with_unknown_fields_clean_error(tmp_path, capsys):
+    path = tmp_path / "spec.json"
+    path.write_text('{"env_id": "CartPole-v0", "warp_factor": 9}')
+    assert main(["run", "--spec", str(path)]) == 2
+    assert "unknown spec fields" in capsys.readouterr().err
+
+
+def test_unknown_environment_clean_error(capsys):
+    assert main(["run", "SpaceInvaders-3d-v9", "--generations", "1"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "SpaceInvaders-3d-v9" in err
+
+
+def test_run_vectorizer_numpy(capsys):
+    code = main([
+        "run", "CartPole-v0", "--vectorizer", "numpy", "--generations", "2",
+        "--population", "12", "--max-steps", "40",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "[software] CartPole-v0" in out
+    assert "inference vectorized" in out
+
+
+def test_soc_backend_notes_ignored_vectorizer(capsys):
+    code = main([
+        "run", "CartPole-v0", "--backend", "soc", "--vectorizer", "numpy",
+        "--generations", "1", "--population", "10", "--max-steps", "30",
+    ])
+    assert code == 0
+    assert "ignored by the soc backend" in capsys.readouterr().out
+
+
+def test_run_vectorizer_scalar_prints_no_note(capsys):
+    code = main([
+        "run", "CartPole-v0", "--vectorizer", "scalar", "--generations", "1",
+        "--population", "10", "--max-steps", "30",
+    ])
+    assert code == 0
+    assert "inference vectorized" not in capsys.readouterr().out
+
+
+def test_vectorizer_matches_scalar_trajectory(capsys):
+    """The CLI surface of the golden contract: same flags, same fitness."""
+    args = ["run", "CartPole-v0", "--generations", "2", "--population", "12",
+            "--max-steps", "40", "--seed", "3"]
+    assert main(args) == 0
+    scalar_out = capsys.readouterr().out
+    assert main(args + ["--vectorizer", "numpy"]) == 0
+    numpy_out = capsys.readouterr().out
+    scalar_fitness = scalar_out.split("best fitness")[1].split("after")[0]
+    numpy_fitness = numpy_out.split("best fitness")[1].split("after")[0]
+    assert scalar_fitness == numpy_fitness
+
+
 def test_characterise_rejects_non_software_backend():
     with pytest.raises(SystemExit, match="characterises the software path"):
         main([

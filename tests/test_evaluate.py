@@ -8,6 +8,7 @@ from repro.envs import (
     FitnessEvaluator,
     LunarLanderEnv,
     action_from_outputs,
+    actions_from_outputs_batch,
     make,
     run_episode,
 )
@@ -58,6 +59,91 @@ class TestActionTranslation:
     def test_discrete_two_output_argmax(self):
         env = CartPoleEnv(seed=0)
         assert action_from_outputs([0.2, 0.8], env) == 1
+
+    def test_discrete_argmax_tie_breaks_to_lowest_index(self):
+        """Tied maxima must select the lowest-index unit — an explicit
+        contract, not an accident of whichever argmax a backend uses."""
+        lunar = LunarLanderEnv(seed=0)
+        assert action_from_outputs([0.7, 0.7, 0.3, 0.1], lunar) == 0
+        assert action_from_outputs([0.1, 0.7, 0.7, 0.7], lunar) == 1
+        assert action_from_outputs([0.5, 0.5, 0.5, 0.5], lunar) == 0
+        cart = CartPoleEnv(seed=0)
+        assert action_from_outputs([0.4, 0.4], cart) == 0
+
+
+class TestBatchActionTranslation:
+    """actions_from_outputs_batch must agree row-for-row with the scalar
+    translator on every supported space."""
+
+    def rows(self, n_rows, n_cols, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.uniform(-2.0, 2.0, size=(n_rows, n_cols))
+
+    def test_discrete_multi_output(self):
+        env = LunarLanderEnv(seed=0)
+        outputs = self.rows(50, 4)
+        batch = actions_from_outputs_batch(outputs, env.action_space)
+        for i, row in enumerate(outputs):
+            assert int(batch[i]) == action_from_outputs(list(row), env)
+
+    def test_discrete_multi_output_ties(self):
+        env = LunarLanderEnv(seed=0)
+        outputs = np.array([[0.7, 0.7, 0.1, 0.7], [0.2, 0.9, 0.9, 0.1]])
+        batch = actions_from_outputs_batch(outputs, env.action_space)
+        assert list(batch) == [0, 1]
+
+    def test_discrete_single_output_binary(self):
+        env = CartPoleEnv(seed=0)
+        outputs = self.rows(50, 1)
+        batch = actions_from_outputs_batch(outputs, env.action_space)
+        for i, row in enumerate(outputs):
+            assert int(batch[i]) == action_from_outputs(list(row), env)
+
+    def test_discrete_single_output_scaled(self):
+        env = make("MountainCar-v0")  # Discrete(3)
+        outputs = self.rows(50, 1, seed=3)
+        batch = actions_from_outputs_batch(outputs, env.action_space)
+        for i, row in enumerate(outputs):
+            assert int(batch[i]) == action_from_outputs(list(row), env)
+
+    def test_discrete_single_output_scaled_huge_activations(self):
+        """Regression: a clamped-exp-sized output (~1e26) must not take
+        the int64-cast-overflow path and diverge from the scalar rule."""
+        env = make("MountainCar-v0")  # Discrete(3)
+        outputs = np.array([[1.142e26], [-3.7e18], [8.0e15], [2.5]])
+        batch = actions_from_outputs_batch(outputs, env.action_space)
+        for i, row in enumerate(outputs):
+            assert int(batch[i]) == action_from_outputs(list(row), env)
+
+    def test_box(self):
+        env = BipedalWalkerEnv(seed=0)
+        outputs = self.rows(20, env.action_space.flat_dim, seed=1)
+        batch = actions_from_outputs_batch(outputs, env.action_space)
+        for i, row in enumerate(outputs):
+            assert (batch[i] == action_from_outputs(list(row), env)).all()
+
+    def test_box_short_rows_padded(self):
+        env = BipedalWalkerEnv(seed=0)
+        outputs = self.rows(20, 2, seed=2)
+        batch = actions_from_outputs_batch(outputs, env.action_space)
+        for i, row in enumerate(outputs):
+            assert (batch[i] == action_from_outputs(list(row), env)).all()
+
+    def test_multibinary(self):
+        from types import SimpleNamespace
+
+        from repro.envs.spaces import MultiBinary
+
+        space = MultiBinary(3)
+        fake_env = SimpleNamespace(action_space=space)
+        outputs = self.rows(20, 3, seed=4)
+        batch = actions_from_outputs_batch(outputs, space)
+        for i, row in enumerate(outputs):
+            assert list(batch[i]) == action_from_outputs(list(row), fake_env)
+
+    def test_unsupported_space_rejected(self):
+        with pytest.raises(TypeError):
+            actions_from_outputs_batch(np.zeros((2, 2)), object())
 
 
 class TestRunEpisode:

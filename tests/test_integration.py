@@ -27,6 +27,10 @@ from repro.hw import (
 )
 from repro.neat.network import FeedForwardNetwork
 
+# Whole-system runs dominate suite wall time; the quick CI matrix skips
+# them with -m "not slow" (the coverage job and tier-1 still run them).
+pytestmark = pytest.mark.slow
+
 
 class TestSoftwareConvergence:
     """Section III-B: 'All environments reached the target fitness'.
