@@ -9,14 +9,14 @@
 
 import pytest
 
-from bench_fig11_design_space import eve_replay_workload, fresh_buffer
+from conftest import fresh_buffer, get_replay_workload
 from repro.analysis.reporting import render_table
 from repro.hw.energy import gated_power
 from repro.hw.eve import EvEConfig, EvolutionEngine
 
 
 def test_ablation_pe_allocation(benchmark, emit):
-    config, population, plan = eve_replay_workload()
+    config, population, plan = get_replay_workload()
     rows = []
     reads = {}
     for scheduler in ("greedy", "round-robin"):

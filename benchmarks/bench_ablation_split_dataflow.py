@@ -8,14 +8,14 @@ wave multiplication erode generation throughput.
 
 import pytest
 
-from bench_fig11_design_space import eve_replay_workload
+from conftest import get_replay_workload
 from repro.analysis.reporting import render_table
 from repro.hw.gene_encoding import encode_genome
 from repro.hw.split_dataflow import sweep_pes_per_child
 
 
 def test_ablation_split_dataflow(benchmark, emit):
-    config, population, plan = eve_replay_workload()
+    config, population, plan = get_replay_workload()
     # stream length per child = the fitter parent's gene count
     lengths = []
     for event in plan.events:

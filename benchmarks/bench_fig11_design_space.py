@@ -6,55 +6,36 @@
     (with the ADAM inference runtime for comparison).
 
 (b) and (c) replay a *real* recorded reproduction plan through the
-cycle-level EvE model, exactly the paper's trace-driven methodology.
+cycle-level EvE model, exactly the paper's trace-driven methodology —
+declared as :class:`repro.dse.SweepSpec` axes and driven through
+:class:`repro.dse.SweepRunner` with the shared EvE replay evaluator.
+The recorded workload itself comes from the session-cached
+:func:`conftest.get_replay_workload`.
 """
 
 import pytest
 
-from conftest import get_trace
+from conftest import get_replay_workload, get_trace
 from repro.analysis.reporting import render_table
-from repro.core.runner import config_for_env
-from repro.envs.evaluate import FitnessEvaluator
+from repro.api import ExperimentSpec
+from repro.dse import SweepRunner, SweepSpec, eve_replay_evaluator
 from repro.envs.registry import ATARI_SUITE, CLASSIC_SUITE
 from repro.hw.adam import ADAM, build_inference_plan
-from repro.hw.energy import SRAM_ACCESS_ENERGY_PJ
-from repro.hw.eve import EvEConfig, EvolutionEngine
-from repro.hw.gene_encoding import encode_genome
-from repro.hw.sram import GenomeBuffer
-from repro.neat.population import Population
 
 PE_SWEEP = [2, 4, 8, 16, 32, 64]
 
-_WORKLOAD_CACHE = {}
+#: Base spec mirroring the recorded replay workload's provenance.
+REPLAY_BASE = ExperimentSpec("Alien-ram-v0", pop_size=16, seed=0, max_steps=40)
 
 
-def eve_replay_workload(env_id="Alien-ram-v0", pop_size=16, warm_generations=1,
-                        seed=0, max_steps=40):
-    """An evaluated population + reproduction plan ready for EvE replay."""
-    key = (env_id, pop_size, warm_generations, seed)
-    if key in _WORKLOAD_CACHE:
-        return _WORKLOAD_CACHE[key]
-    config = config_for_env(env_id, pop_size=pop_size)
-    population = Population(config, seed=seed)
-    evaluator = FitnessEvaluator(env_id, max_steps=max_steps, seed=seed)
-    for _ in range(warm_generations):
-        population.run_generation(evaluator)
-    genomes = list(population.population.values())
-    evaluator(genomes, config)
-    population.species_set.adjust_fitnesses(population.generation)
-    plan = population.reproduction.plan_generation(
-        population.species_set, population.generation, population.rng
+def replay_sweep(axes, workload=None):
+    """Run one hardware-axis sweep over the recorded reproduction plan."""
+    config, population, plan = workload or get_replay_workload()
+    runner = SweepRunner(
+        SweepSpec(base=REPLAY_BASE, axes=axes),
+        evaluate=eve_replay_evaluator(config, population, plan),
     )
-    _WORKLOAD_CACHE[key] = (config, population.population, plan)
-    return _WORKLOAD_CACHE[key]
-
-
-def fresh_buffer(config, population):
-    buffer = GenomeBuffer()
-    for gkey, genome in population.items():
-        buffer.write_genome(gkey, encode_genome(genome, config.genome))
-        buffer.set_fitness(gkey, genome.fitness)
-    return buffer
+    return runner.run()
 
 
 def test_fig11a_gene_composition(benchmark, emit):
@@ -80,22 +61,22 @@ def test_fig11a_gene_composition(benchmark, emit):
 
 
 def test_fig11b_noc_ablation(benchmark, emit):
-    config, population, plan = eve_replay_workload()
+    result = replay_sweep(
+        {"hw.eve_pes": PE_SWEEP, "hw.noc": ["p2p", "multicast"]}
+    )
+    reads = {
+        (row["hw.eve_pes"], row["hw.noc"]): row["reads_per_cycle"]
+        for row in result.rows
+    }
     rows = []
     ratios = []
     for num_pes in PE_SWEEP:
-        reads_per_cycle = {}
-        for noc in ("p2p", "multicast"):
-            buffer = fresh_buffer(config, population)
-            eve = EvolutionEngine(EvEConfig(num_pes=num_pes, noc=noc, seed=1))
-            result = eve.reproduce_generation(buffer, plan.events, plan.elite_keys)
-            reads_per_cycle[noc] = result.noc_stats.reads_per_cycle
-        ratio = reads_per_cycle["p2p"] / max(1e-9, reads_per_cycle["multicast"])
+        ratio = reads[(num_pes, "p2p")] / max(1e-9, reads[(num_pes, "multicast")])
         ratios.append((num_pes, ratio))
         rows.append([
             num_pes,
-            f"{reads_per_cycle['p2p']:.2f}",
-            f"{reads_per_cycle['multicast']:.2f}",
+            f"{reads[(num_pes, 'p2p')]:.2f}",
+            f"{reads[(num_pes, 'multicast')]:.2f}",
             f"{ratio:.1f}x",
         ])
     emit(render_table(
@@ -108,18 +89,18 @@ def test_fig11b_noc_ablation(benchmark, emit):
     assert ratios[-1][1] > ratios[0][1]
     assert ratios[-1][1] > 3.0
 
-    config2, population2, plan2 = eve_replay_workload("CartPole-v0", pop_size=12)
+    workload2 = get_replay_workload("CartPole-v0", pop_size=12)
 
     def replay():
-        buffer = fresh_buffer(config2, population2)
-        eve = EvolutionEngine(EvEConfig(num_pes=8, noc="multicast", seed=1))
-        return eve.reproduce_generation(buffer, plan2.events, plan2.elite_keys)
+        return replay_sweep(
+            {"hw.eve_pes": [8], "hw.noc": ["multicast"]}, workload=workload2
+        )
 
     benchmark(replay)
 
 
 def test_fig11c_pe_sweep(benchmark, emit):
-    config, population, plan = eve_replay_workload()
+    config, population, plan = get_replay_workload()
 
     # ADAM inference runtime for the same generation (constant line).
     adam = ADAM()
@@ -129,17 +110,14 @@ def test_fig11c_pe_sweep(benchmark, emit):
         adam.run(inference_plan, [0.0] * config.genome.num_inputs)
     adam_cycles = adam.stats.total_cycles * steps_per_genome
 
+    result = replay_sweep({"hw.eve_pes": PE_SWEEP, "hw.noc": ["multicast"]})
     rows = []
     series = []
-    for num_pes in PE_SWEEP:
-        buffer = fresh_buffer(config, population)
-        eve = EvolutionEngine(EvEConfig(num_pes=num_pes, noc="multicast", seed=1))
-        result = eve.reproduce_generation(buffer, plan.events, plan.elite_keys)
-        accesses = result.sram_reads + result.sram_writes
-        energy_uj = accesses * SRAM_ACCESS_ENERGY_PJ * 1e-6
-        series.append((num_pes, result.cycles, energy_uj))
+    for row in result.rows:
+        series.append((row["hw.eve_pes"], row["cycles"], row["sram_energy_uj"]))
         rows.append([
-            num_pes, result.cycles, adam_cycles, f"{energy_uj:.2f}",
+            row["hw.eve_pes"], row["cycles"], adam_cycles,
+            f"{row['sram_energy_uj']:.2f}",
         ])
     emit(render_table(
         ["EvE PEs", "EvE cycles/gen", "ADAM cycles/gen", "SRAM RD+WR energy (uJ)"],
@@ -157,8 +135,6 @@ def test_fig11c_pe_sweep(benchmark, emit):
     assert energies[-1] < energies[0]
 
     def sweep_point():
-        buffer = fresh_buffer(config, population)
-        eve = EvolutionEngine(EvEConfig(num_pes=16, noc="multicast", seed=1))
-        return eve.reproduce_generation(buffer, plan.events, plan.elite_keys)
+        return replay_sweep({"hw.eve_pes": [16], "hw.noc": ["multicast"]})
 
     benchmark(sweep_point)

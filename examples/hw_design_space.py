@@ -8,24 +8,32 @@ model across the design axes the paper explores:
 * point-to-point bus vs multicast tree NoC (Fig. 11b),
 * greedy parent-reuse PE allocation vs naive round-robin (Section IV-C5).
 
+The axes are declared as :class:`repro.dse.SweepSpec` objects and driven
+by :class:`repro.dse.SweepRunner` with a trace-replay evaluator — the
+same subsystem behind ``python -m repro dse``, here exploring the SoC's
+*reproduction* pass at single-generation granularity.
+
 Usage:  python examples/hw_design_space.py
 """
 
 from repro.analysis.reporting import render_table
+from repro.api import ExperimentSpec
 from repro.core.runner import config_for_env
+from repro.dse import SweepRunner, SweepSpec, eve_replay_evaluator
 from repro.envs.evaluate import FitnessEvaluator
-from repro.hw.energy import SRAM_ACCESS_ENERGY_PJ, area_breakdown, roofline_power
-from repro.hw.eve import EvEConfig, EvolutionEngine
-from repro.hw.gene_encoding import encode_genome
-from repro.hw.sram import GenomeBuffer
+from repro.hw.energy import area_breakdown, roofline_power
 from repro.neat.population import Population
 
+#: The recorded workload every axis replays (laptop-scale Alien-ram).
+BASE = ExperimentSpec("Alien-ram-v0", pop_size=20, seed=0, max_steps=60)
 
-def record_plan(env_id="Alien-ram-v0", pop_size=20, seed=0):
+
+def record_plan(spec=BASE):
     """Evaluate one generation and plan its reproduction (not executed)."""
-    config = config_for_env(env_id, pop_size=pop_size)
-    population = Population(config, seed=seed)
-    evaluator = FitnessEvaluator(env_id, max_steps=60, seed=seed)
+    config = config_for_env(spec.env_id, pop_size=spec.pop_size)
+    population = Population(config, seed=spec.seed)
+    evaluator = FitnessEvaluator(spec.env_id, max_steps=spec.max_steps,
+                                 seed=spec.seed)
     population.run_generation(evaluator)
     genomes = list(population.population.values())
     evaluator(genomes, config)
@@ -36,31 +44,27 @@ def record_plan(env_id="Alien-ram-v0", pop_size=20, seed=0):
     return config, population.population, plan
 
 
-def replay(config, population, plan, **eve_kwargs):
-    buffer = GenomeBuffer()
-    for key, genome in population.items():
-        buffer.write_genome(key, encode_genome(genome, config.genome))
-        buffer.set_fitness(key, genome.fitness)
-    eve = EvolutionEngine(EvEConfig(seed=1, **eve_kwargs))
-    return eve.reproduce_generation(buffer, plan.events, plan.elite_keys)
+def run_axis(axes, evaluate):
+    """One single-axis study through the sweep engine (uncached replay)."""
+    sweep = SweepSpec(base=BASE, axes=axes)
+    return SweepRunner(sweep, evaluate=evaluate).run()
 
 
 def main() -> None:
     print("recording an Alien-ram reproduction plan ...\n")
-    config, population, plan = record_plan()
+    evaluate = eve_replay_evaluator(*record_plan())
 
     # -- axis 1: PE count ---------------------------------------------------
+    result = run_axis({"hw.eve_pes": [2, 8, 32, 128, 256]}, evaluate)
     rows = []
-    for num_pes in (2, 8, 32, 128, 256):
-        result = replay(config, population, plan, num_pes=num_pes)
-        energy_uj = (result.sram_reads + result.sram_writes) \
-            * SRAM_ACCESS_ENERGY_PJ * 1e-6
+    for row in result.rows:
+        num_pes = row["hw.eve_pes"]
         rows.append([
             num_pes,
-            result.waves,
-            result.cycles,
-            f"{result.cycles / 200e6 * 1e6:.2f}",
-            f"{energy_uj:.2f}",
+            row["waves"],
+            row["cycles"],
+            f"{row['cycles'] / 200e6 * 1e6:.2f}",
+            f"{row['sram_energy_uj']:.2f}",
             f"{roofline_power(num_pes).total_mw:.0f}",
             f"{area_breakdown(num_pes).total_mm2:.2f}",
         ])
@@ -72,15 +76,18 @@ def main() -> None:
     ))
 
     # -- axis 2: NoC --------------------------------------------------------
-    rows = []
-    for noc in ("p2p", "multicast"):
-        result = replay(config, population, plan, num_pes=32, noc=noc)
-        rows.append([
-            noc,
-            result.sram_reads,
-            f"{result.noc_stats.reads_per_cycle:.2f}",
-            result.noc_stats.multicast_hits,
-        ])
+    result = run_axis(
+        {"hw.eve_pes": [32], "hw.noc": ["p2p", "multicast"]}, evaluate
+    )
+    rows = [
+        [
+            row["hw.noc"],
+            row["sram_reads"],
+            f"{row['reads_per_cycle']:.2f}",
+            row["multicast_hits"],
+        ]
+        for row in result.rows
+    ]
     print()
     print(render_table(
         ["NoC", "SRAM reads/gen", "reads/cycle", "multicast hits"],
@@ -91,13 +98,18 @@ def main() -> None:
     # -- axis 3: PE allocation policy ----------------------------------------
     # Few PEs force multiple waves; the policies then differ in how well
     # co-scheduled children share parent streams over the multicast tree.
-    rows = []
-    for scheduler in ("greedy", "round-robin"):
-        result = replay(
-            config, population, plan, num_pes=4, noc="multicast",
-            scheduler=scheduler,
-        )
-        rows.append([scheduler, result.sram_reads, result.cycles])
+    result = run_axis(
+        {
+            "hw.eve_pes": [4],
+            "hw.noc": ["multicast"],
+            "hw.scheduler": ["greedy", "round-robin"],
+        },
+        evaluate,
+    )
+    rows = [
+        [row["hw.scheduler"], row["sram_reads"], row["cycles"]]
+        for row in result.rows
+    ]
     print()
     print(render_table(
         ["scheduler", "SRAM reads/gen", "cycles/gen"],

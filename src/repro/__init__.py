@@ -14,6 +14,9 @@ Public API tour:
 * :mod:`repro.api` — the unified experiment API: :class:`ExperimentSpec`
   (JSON-round-trippable), pluggable backends (``software``, ``soc``,
   ``analytical:<platform>``) and parallel fitness evaluation.
+* :mod:`repro.dse` — declarative design-space exploration: JSON sweep
+  specs over experiment and hardware axes, incremental content-hash
+  caching, Pareto analysis (``python -m repro dse``).
 * :mod:`repro.core` — the GeneSys SoC walkthrough loop and legacy
   closed-loop runner shims.
 * :mod:`repro.platforms` — analytical CPU/GPU/GENESYS platform models for
@@ -29,9 +32,9 @@ Quickstart::
     print(result.best_fitness, result.total_energy_j)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-from . import analysis, api, baselines, core, envs, hw, neat, platforms
+from . import analysis, api, baselines, core, dse, envs, hw, neat, platforms
 
 __all__ = [
     "__version__",
@@ -39,6 +42,7 @@ __all__ = [
     "api",
     "baselines",
     "core",
+    "dse",
     "envs",
     "hw",
     "neat",

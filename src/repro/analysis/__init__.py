@@ -18,6 +18,8 @@ from .reporting import (
     render_series,
     render_table,
     summarize_distribution,
+    write_csv,
+    write_json,
 )
 from .reuse import ReuseStats, reuse_series, reuse_stats
 from .species_tracker import SpeciesHistory, SpeciesSnapshot, track_run
@@ -48,4 +50,6 @@ __all__ = [
     "SpeciesSnapshot",
     "summarize_distribution",
     "track_run",
+    "write_csv",
+    "write_json",
 ]

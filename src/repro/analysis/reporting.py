@@ -7,10 +7,34 @@ against the paper directly (and diffed between runs).
 
 from __future__ import annotations
 
+import csv
+import json
 import math
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 Number = Union[int, float]
+
+
+def write_csv(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> None:
+    """Write one table to ``path`` as CSV (the machine twin of
+    :func:`render_table`)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+
+
+def write_json(path: Union[str, Path], payload: object) -> None:
+    """Write a JSON-serialisable payload with stable key order."""
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def fmt_si(value: float, unit: str = "") -> str:

@@ -25,19 +25,24 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 from ..core.config import GeneSysConfig
 from ..core.runner import config_for_env
 from ..core.soc import GenerationReport, GeneSysSoC
 from ..core.trace import GenerationWorkload, _mean_depth
+from ..hw.allocator import SCHEDULERS
 from ..hw.energy import cycles_to_seconds
 from ..neat.genome import Genome
 from ..neat.population import Population
 from ..platforms import make_platform, platform_names
 from .parallel import build_evaluator
 from .result import GenerationMetrics, RunResult
-from .spec import ExperimentSpec
+from .spec import ExperimentSpec, SpecError
+
+#: Canonical NoC kinds the SoC design point accepts (:mod:`repro.hw.noc`
+#: is fuzzy about spellings; sweeps and backend options use these).
+NOC_KINDS = ("p2p", "multicast")
 
 #: Observer fired after each generation with its metrics.
 GenerationObserver = Callable[[GenerationMetrics], None]
@@ -251,7 +256,13 @@ class AnalyticalBackend:
     def __init__(self, arg: Optional[str] = None,
                  platform: Optional[str] = None,
                  fitness_transform: Optional[Callable[[float], float]] = None) -> None:
-        self.platform_name = arg or platform or "GENESYS"
+        if not (arg or platform):
+            raise UnknownBackendError(
+                "the analytical backend needs a platform — use "
+                "'analytical:<platform>' with one of: "
+                f"{platform_names()}"
+            )
+        self.platform_name = arg or platform
         try:
             self.platform = make_platform(self.platform_name)
         except KeyError as exc:
@@ -293,6 +304,31 @@ class AnalyticalBackend:
         )
 
 
+def _parse_adam_shape(shape: Union[str, Sequence[int]]) -> Tuple[int, int]:
+    """``"32x32"`` (or a 2-sequence) -> ``(rows, cols)``."""
+    if isinstance(shape, str):
+        rows_text, sep, cols_text = shape.lower().partition("x")
+        try:
+            if not sep:
+                raise ValueError
+            rows, cols = int(rows_text), int(cols_text)
+        except ValueError:
+            raise SpecError(
+                f"adam_shape must look like '32x32', got {shape!r}"
+            ) from None
+    else:
+        try:
+            rows, cols = (int(v) for v in shape)
+        except (TypeError, ValueError):
+            raise SpecError(
+                f"adam_shape must be 'RxC' or a (rows, cols) pair, "
+                f"got {shape!r}"
+            ) from None
+    if rows < 1 or cols < 1:
+        raise SpecError(f"adam_shape dimensions must be >= 1, got {shape!r}")
+    return rows, cols
+
+
 class SoCBackend:
     """Hardware-in-the-loop evolution on the EvE/ADAM SoC models.
 
@@ -301,17 +337,45 @@ class SoCBackend:
     mutated: the spec's NEAT sizing and seed are applied to a copy
     (``dataclasses.replace``), including the nested EvE block whose PE
     registers the SoC reprograms.
+
+    The hardware design point is parameterisable through JSON-friendly
+    ``backend_options`` — the knobs :mod:`repro.dse` sweeps: ``eve_pes``
+    (EvE PE count), ``noc`` (``p2p``/``multicast``), ``scheduler``
+    (``greedy``/``round-robin``) and ``adam_shape`` (``"RxC"`` systolic
+    array).  They override the resolved config, whether it came from the
+    paper design point or a caller-provided ``soc_config``.
     """
 
     name = "soc"
 
     def __init__(self, arg: Optional[str] = None,
-                 soc_config: Optional[GeneSysConfig] = None) -> None:
+                 soc_config: Optional[GeneSysConfig] = None,
+                 eve_pes: Optional[int] = None,
+                 noc: Optional[str] = None,
+                 scheduler: Optional[str] = None,
+                 adam_shape: Optional[str] = None) -> None:
         if arg:
             raise UnknownBackendError(
                 f"the soc backend takes no ':{arg}' parameter"
             )
         self.soc_config = soc_config
+        if eve_pes is not None and (not isinstance(eve_pes, int) or eve_pes < 1):
+            raise SpecError(f"eve_pes must be a positive int, got {eve_pes!r}")
+        if noc is not None and noc not in NOC_KINDS:
+            raise SpecError(
+                f"unknown noc {noc!r}; use one of {sorted(NOC_KINDS)}"
+            )
+        if scheduler is not None and scheduler not in SCHEDULERS:
+            raise SpecError(
+                f"unknown scheduler {scheduler!r}; use one of "
+                f"{sorted(SCHEDULERS)}"
+            )
+        self.eve_pes = eve_pes
+        self.noc = noc
+        self.scheduler = scheduler
+        self.adam_shape = (
+            _parse_adam_shape(adam_shape) if adam_shape is not None else None
+        )
 
     def _resolve_config(self, spec: ExperimentSpec) -> GeneSysConfig:
         neat_config = config_for_env(
@@ -320,13 +384,30 @@ class SoCBackend:
         if self.soc_config is None:
             config = GeneSysConfig.paper_design_point(neat=neat_config)
             config.seed = spec.seed
-            return config
-        return dataclasses.replace(
-            self.soc_config,
-            neat=neat_config,
-            seed=spec.seed,
-            eve=dataclasses.replace(self.soc_config.eve),
-        )
+        else:
+            config = dataclasses.replace(
+                self.soc_config,
+                neat=neat_config,
+                seed=spec.seed,
+                eve=dataclasses.replace(self.soc_config.eve),
+            )
+        eve_changes = {
+            key: value
+            for key, value in (
+                ("num_pes", self.eve_pes),
+                ("noc", self.noc),
+                ("scheduler", self.scheduler),
+            )
+            if value is not None
+        }
+        if eve_changes:
+            config.eve = dataclasses.replace(config.eve, **eve_changes)
+        if self.adam_shape is not None:
+            rows, cols = self.adam_shape
+            config.adam = dataclasses.replace(
+                config.adam, rows=rows, cols=cols
+            )
+        return config
 
     def run(
         self,

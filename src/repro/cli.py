@@ -9,6 +9,8 @@ Commands
 ``characterise [ENV]``        Fig. 4/5-style workload characterisation
 ``platforms [ENV]``           Fig. 9-style platform runtime/energy matrix
 ``design-space``              Fig. 8 power/area sweep of the SoC
+``dse --sweep FILE``          declarative design-space sweep (repro.dse):
+                              cached, parallel, Pareto/groupby/export
 
 ``run``, ``characterise`` and ``platforms`` are spec-driven: flags build
 an :class:`repro.api.ExperimentSpec`, or ``--spec FILE`` loads one from
@@ -249,6 +251,72 @@ def _cmd_platforms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from .dse import (
+        SweepRunner,
+        SweepSpec,
+        default_cache_dir,
+        parse_objectives,
+    )
+
+    sweep = SweepSpec.load(args.sweep)
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or default_cache_dir()
+    )
+    runner = SweepRunner(sweep, cache_dir=cache_dir, jobs=args.jobs)
+
+    def progress(done: int, total: int, row) -> None:
+        if not args.quiet:
+            state = "cache" if row.get("cached") else "run"
+            axes = ", ".join(f"{k}={row[k]}" for k in sweep.axis_names)
+            print(f"  [{done}/{total}] {state:<5} {axes}")
+
+    print(
+        f"sweep: {len(sweep.expand())} points over axes "
+        f"{', '.join(sweep.axis_names)} ({sweep.strategy})"
+    )
+    result = runner.run(progress=progress)
+    headers, rows = result.table()
+    print()
+    print(render_table(headers, rows, title=f"Design space: {args.sweep}"))
+    print(
+        f"\nevaluated {result.evaluated}, "
+        f"cache hits {result.cache_hits}/{result.points}"
+        + (f" (cache: {result.cache_dir})" if result.cache_dir else "")
+    )
+    if args.pareto:
+        objectives = parse_objectives(args.pareto)
+        front = result.pareto_front(objectives)
+        legend = ", ".join(f"{k}:{v}" for k, v in objectives.items())
+        keep = sweep.axis_names + list(objectives)
+
+        def fmt(value):
+            return f"{value:.6g}" if isinstance(value, float) else value
+
+        print()
+        print(render_table(
+            keep,
+            [[fmt(row.get(name)) for name in keep] for row in front],
+            title=f"Pareto frontier ({legend})",
+        ))
+    if args.group_by:
+        axis, _, metric = args.group_by.partition(":")
+        metric = metric or "fitness"
+        groups = result.group_by(axis, metric)
+        print()
+        print(render_table(
+            [axis, "count", "mean", "min", "max"],
+            [[g[axis], g["count"], f"{g['mean']:.6g}", f"{g['min']:.6g}",
+              f"{g['max']:.6g}"] for g in groups],
+            title=f"{metric} grouped by {axis}",
+        ))
+    if args.export:
+        result.to_csv(f"{args.export}.csv")
+        result.to_json(f"{args.export}.json")
+        print(f"exported {args.export}.csv and {args.export}.json")
+    return 0
+
+
 def _cmd_design_space(args: argparse.Namespace) -> int:
     from .hw.energy import area_breakdown, pe_sweep, roofline_power
 
@@ -265,6 +333,16 @@ def _cmd_design_space(args: argparse.Namespace) -> int:
         title="GeneSys design space (Fig. 8)",
     ))
     return 0
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -343,6 +421,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("design-space", help="PE sweep power/area table").set_defaults(
         func=_cmd_design_space
     )
+
+    dse = sub.add_parser(
+        "dse",
+        help="run a declarative design-space sweep (repro.dse)",
+        description="Expand a SweepSpec JSON file into experiment points, "
+                    "run them through the backend registry with on-disk "
+                    "memoisation, and tabulate/export the results.",
+    )
+    dse.add_argument("--sweep", metavar="FILE", required=True,
+                     help="SweepSpec JSON file (base spec + axes)")
+    dse.add_argument("--cache-dir", metavar="DIR", default=None,
+                     help="point cache directory (default: "
+                          "$REPRO_DSE_CACHE or ~/.cache/repro-dse)")
+    dse.add_argument("--no-cache", action="store_true",
+                     help="disable the on-disk point cache")
+    dse.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                     help="process-pool parallelism across sweep points "
+                          "(default 1; composes with each point's "
+                          "'workers' setting)")
+    dse.add_argument("--export", metavar="PREFIX",
+                     help="write PREFIX.csv and PREFIX.json result tables")
+    dse.add_argument("--pareto", metavar="OBJECTIVES",
+                     help="print the Pareto frontier, e.g. "
+                          "'fitness:max,energy_j:min'")
+    dse.add_argument("--group-by", metavar="AXIS[:METRIC]",
+                     help="print a per-axis-value summary of METRIC "
+                          "(default fitness)")
+    dse.add_argument("--quiet", action="store_true",
+                     help="suppress per-point progress lines")
+    dse.set_defaults(func=_cmd_dse)
     return parser
 
 
@@ -350,11 +458,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     from .api import SpecError, UnknownBackendError
+    from .dse import ObjectiveError
     from .envs.registry import UnknownEnvironmentError
 
     try:
         return args.func(args)
-    except (SpecError, UnknownBackendError, UnknownEnvironmentError) as exc:
+    except (
+        SpecError, UnknownBackendError, UnknownEnvironmentError, ObjectiveError
+    ) as exc:
         # KeyError subclasses repr-quote their message; unwrap it.
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)

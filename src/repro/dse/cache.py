@@ -1,0 +1,133 @@
+"""Content-hash memoisation of sweep points on disk.
+
+Every sweep point is keyed by the SHA-256 of a canonical JSON payload
+(sorted keys, fixed separators), so the key is invariant to spec field
+ordering and stable across processes and machines — no pickling, no
+``PYTHONHASHSEED`` sensitivity.  Records live one-per-file under a
+two-level fanout (``<root>/<key[:2]>/<key>.json``), written atomically
+(temp file + ``os.replace``) so concurrent sweeps sharing one cache
+directory never observe torn records.
+
+The default executor's metrics are a pure function of the *effective*
+:class:`repro.api.ExperimentSpec`, so its keys hash the spec alone —
+points that resolve to the same experiment (e.g. a hardware axis on a
+non-``soc`` backend) collapse to one evaluation.  Custom evaluators see
+the whole point, so their keys also hash the raw axis values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from ..api.spec import ExperimentSpec
+from .spec import SweepPoint
+
+#: Bump when the record layout or key payload changes shape.
+CACHE_FORMAT = 1
+
+#: The built-in experiment executor's identity in cache keys.  Bump when
+#: its metric semantics change.
+EXPERIMENT_EVALUATOR = "experiment-v1"
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_key(
+    spec: Union[ExperimentSpec, Mapping[str, Any]],
+    evaluator: str = EXPERIMENT_EVALUATOR,
+) -> str:
+    """Content hash of an experiment spec (field-order invariant)."""
+    data = spec.to_dict() if isinstance(spec, ExperimentSpec) else dict(spec)
+    payload = {"format": CACHE_FORMAT, "evaluator": evaluator, "spec": data}
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def point_key(
+    point: SweepPoint,
+    evaluator: str = EXPERIMENT_EVALUATOR,
+    include_axes: bool = False,
+) -> str:
+    """Content hash identifying one sweep point's evaluation."""
+    if not include_axes:
+        return spec_key(point.spec, evaluator)
+    payload = {
+        "format": CACHE_FORMAT,
+        "evaluator": evaluator,
+        "spec": point.spec.to_dict(),
+        "axes": dict(point.axes),
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_DSE_CACHE``, else ``$XDG_CACHE_HOME/repro-dse``, else
+    ``~/.cache/repro-dse``."""
+    override = os.environ.get("REPRO_DSE_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-dse"
+
+
+class SweepCache:
+    """A directory of memoised point records, addressed by content hash."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored record, or ``None`` on a miss (corrupt files count
+        as misses and will simply be rewritten)."""
+        path = self.path_for(key)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict) or record.get("format") != CACHE_FORMAT:
+            return None
+        return record
+
+    def put(self, key: str, metrics: Mapping[str, Any],
+            point: Optional[SweepPoint] = None) -> Dict[str, Any]:
+        """Atomically persist one evaluated point; returns the record."""
+        record: Dict[str, Any] = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "metrics": dict(metrics),
+        }
+        if point is not None:
+            record["spec"] = point.spec.to_dict()
+            record["axes"] = dict(point.axes)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return record
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

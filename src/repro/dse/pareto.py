@@ -1,0 +1,94 @@
+"""Pareto-frontier extraction over sweep rows.
+
+The paper's design-space narrative (Figs. 8 and 11, Table III) is a
+trade-off story — runtime vs energy vs area across hardware
+configurations and platforms.  :func:`pareto_front` is the generic
+version: given result rows and a mapping of objective keys to
+directions, keep the non-dominated set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+#: Accepted objective directions.
+DIRECTIONS = ("min", "max")
+
+
+class ObjectiveError(ValueError):
+    """Raised for malformed objective mappings."""
+
+
+def parse_objectives(text: str) -> Dict[str, str]:
+    """Parse ``"energy_j:min,fitness:max"`` into an objective mapping."""
+    objectives: Dict[str, str] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, direction = part.partition(":")
+        direction = direction or "min"
+        if direction not in DIRECTIONS:
+            raise ObjectiveError(
+                f"objective {part!r}: direction must be 'min' or 'max'"
+            )
+        objectives[key.strip()] = direction
+    if not objectives:
+        raise ObjectiveError("no objectives given")
+    return objectives
+
+
+def _scores(row: Mapping[str, Any], objectives: Mapping[str, str]):
+    """Minimisation-oriented score vector, or None if any objective is
+    missing/None for this row (rows a backend cannot measure — e.g. no
+    energy model — simply do not compete)."""
+    scores = []
+    for key, direction in objectives.items():
+        value = row.get(key)
+        if value is None or not isinstance(value, (int, float)):
+            return None
+        scores.append(float(value) if direction == "min" else -float(value))
+    return tuple(scores)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True if score vector ``a`` is no worse everywhere and better
+    somewhere (both minimisation-oriented)."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_front(
+    rows: Sequence[Mapping[str, Any]], objectives: Mapping[str, str]
+) -> List[Dict[str, Any]]:
+    """The non-dominated subset of ``rows`` under ``objectives``.
+
+    ``objectives`` maps a row key to ``"min"`` or ``"max"``.  Rows
+    missing an objective value are excluded.  Duplicate score vectors all
+    survive (they tie), and input order is preserved.
+    """
+    for key, direction in objectives.items():
+        if direction not in DIRECTIONS:
+            raise ObjectiveError(
+                f"objective {key!r}: direction must be 'min' or 'max'"
+            )
+        # Per-row missing values are tolerated (a backend may not measure
+        # energy), but a key no row carries is a typo, not an empty front.
+        if rows and not any(
+            isinstance(row.get(key), (int, float)) for row in rows
+        ):
+            raise ObjectiveError(
+                f"objective {key!r} is not a numeric column of any "
+                f"result row"
+            )
+    scored = [
+        (row, score)
+        for row in rows
+        if (score := _scores(row, objectives)) is not None
+    ]
+    front = []
+    for row, score in scored:
+        if not any(dominates(other, score) for _, other in scored):
+            front.append(dict(row))
+    return front

@@ -1,0 +1,231 @@
+"""Declarative sweep specifications: one record describes a design space.
+
+A :class:`SweepSpec` is to a design-space study what
+:class:`repro.api.ExperimentSpec` is to a single run: a frozen,
+JSON-round-trippable description.  It names a *base* experiment spec and
+a set of *axes* — each axis a spec field (``env_id``, ``backend``,
+``pop_size``, ``seed``, …) or a hardware knob of the GeneSys SoC
+(``hw.eve_pes``, ``hw.noc``, ``hw.scheduler``, ``hw.adam_shape``) — with
+the list of values to explore.  ``expand()`` materialises the spec into
+concrete :class:`SweepPoint`\\ s either as the full cartesian ``grid`` or
+as a seeded ``random`` sample of it.
+
+Hardware axes parameterise the ``soc`` substrate: on points whose backend
+is ``soc`` they are folded into ``backend_options`` (where
+:class:`repro.api.SoCBackend` picks them up); on other backends they do
+not change the executed experiment, so equivalent points collapse to one
+evaluation under the content-hash cache (:mod:`repro.dse.cache`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..api.spec import ExperimentSpec, SpecError
+
+
+class SweepSpecError(SpecError):
+    """Raised for invalid or inconsistent sweep specifications."""
+
+
+#: Sampling strategies ``expand()`` understands.
+STRATEGIES = ("grid", "random")
+
+#: Hardware axes -> the :class:`repro.api.SoCBackend` option they set.
+HW_AXES = {
+    "hw.eve_pes": "eve_pes",
+    "hw.noc": "noc",
+    "hw.scheduler": "scheduler",
+    "hw.adam_shape": "adam_shape",
+}
+
+#: Experiment-spec fields an axis may sweep (``backend_options`` is
+#: reserved for the hardware-axis folding).
+SPEC_AXES = tuple(
+    sorted(
+        f.name
+        for f in dataclasses.fields(ExperimentSpec)
+        if f.name != "backend_options"
+    )
+)
+
+
+def _is_json_scalar(value: Any) -> bool:
+    return value is None or isinstance(value, (bool, int, float, str))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One concrete point of a sweep: chosen axis values + effective spec.
+
+    ``axes`` records the value every axis took at this point; ``spec`` is
+    the resolved :class:`ExperimentSpec` the default executor runs
+    (hardware axes folded into ``backend_options`` on ``soc`` points).
+    """
+
+    index: int
+    axes: Dict[str, Any]
+    spec: ExperimentSpec
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "axes": dict(self.axes),
+            "spec": self.spec.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A design-space study, JSON-serialisable.
+
+    ``axes`` maps axis names to candidate-value lists.  ``strategy`` is
+    ``grid`` (full cartesian product, the default) or ``random``
+    (``samples`` draws from the grid using ``sample_seed`` — duplicates
+    collapse, so the expansion may be shorter than ``samples``).
+    """
+
+    base: ExperimentSpec
+    axes: Dict[str, List[Any]] = field(default_factory=dict)
+    strategy: str = "grid"
+    samples: Optional[int] = None
+    sample_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, ExperimentSpec):
+            raise SweepSpecError("base must be an ExperimentSpec")
+        if self.strategy not in STRATEGIES:
+            raise SweepSpecError(
+                f"strategy must be one of {list(STRATEGIES)}, "
+                f"got {self.strategy!r}"
+            )
+        if not self.axes:
+            raise SweepSpecError("a sweep needs at least one axis")
+        for name, values in self.axes.items():
+            if name not in SPEC_AXES and name not in HW_AXES:
+                raise SweepSpecError(
+                    f"unknown sweep axis {name!r}; spec axes: "
+                    f"{list(SPEC_AXES)}; hardware axes: {sorted(HW_AXES)}"
+                )
+            if not isinstance(values, (list, tuple)) or not values:
+                raise SweepSpecError(
+                    f"axis {name!r} needs a non-empty list of values"
+                )
+            for value in values:
+                if not _is_json_scalar(value):
+                    raise SweepSpecError(
+                        f"axis {name!r} value {value!r} is not a JSON scalar"
+                    )
+            if len(set(values)) != len(values):
+                raise SweepSpecError(f"axis {name!r} has duplicate values")
+        if self.strategy == "random":
+            if self.samples is None or self.samples < 1:
+                raise SweepSpecError(
+                    "random sampling needs samples >= 1"
+                )
+        elif self.samples is not None:
+            raise SweepSpecError("samples only applies to strategy='random'")
+
+    # -- expansion --------------------------------------------------------
+
+    @property
+    def axis_names(self) -> List[str]:
+        return list(self.axes)
+
+    def grid_size(self) -> int:
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+    def _combinations(self) -> List[Tuple[Any, ...]]:
+        names = self.axis_names
+        if self.strategy == "grid":
+            return list(itertools.product(*(self.axes[n] for n in names)))
+        rng = random.Random(self.sample_seed)
+        seen, combos = set(), []
+        for _ in range(self.samples):
+            combo = tuple(rng.choice(self.axes[n]) for n in names)
+            if combo not in seen:
+                seen.add(combo)
+                combos.append(combo)
+        return combos
+
+    def resolve_point(self, index: int, values: Mapping[str, Any]) -> SweepPoint:
+        """Resolve one axis-value assignment into a :class:`SweepPoint`."""
+        spec_fields = {k: v for k, v in values.items() if k in SPEC_AXES}
+        try:
+            spec = self.base.replace(**spec_fields) if spec_fields else self.base
+        except SpecError as exc:
+            raise SweepSpecError(f"point {dict(values)}: {exc}") from exc
+        hw = {
+            HW_AXES[k]: v for k, v in values.items() if k in HW_AXES
+        }
+        if hw and spec.backend == "soc":
+            spec = spec.replace(
+                backend_options={**spec.backend_options, **hw}
+            )
+        return SweepPoint(index=index, axes=dict(values), spec=spec)
+
+    def expand(self) -> List[SweepPoint]:
+        """Materialise the sweep into concrete points."""
+        names = self.axis_names
+        return [
+            self.resolve_point(i, dict(zip(names, combo)))
+            for i, combo in enumerate(self._combinations())
+        ]
+
+    # -- dict / JSON round-trip -------------------------------------------
+
+    def replace(self, **changes: Any) -> "SweepSpec":
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "base": self.base.to_dict(),
+            "axes": {name: list(values) for name, values in self.axes.items()},
+            "strategy": self.strategy,
+            "samples": self.samples,
+            "sample_seed": self.sample_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SweepSpecError(f"unknown sweep fields: {unknown}")
+        if "base" not in data:
+            raise SweepSpecError("a sweep spec needs a 'base' experiment spec")
+        base = data["base"]
+        if not isinstance(base, ExperimentSpec):
+            if not isinstance(base, Mapping):
+                raise SweepSpecError("'base' must be an experiment-spec object")
+            base = ExperimentSpec.from_dict(base)
+        return cls(**{**dict(data), "base": base})
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SweepSpecError(f"invalid sweep JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise SweepSpecError("sweep JSON must be an object")
+        return cls.from_dict(data)
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "SweepSpec":
+        return cls.from_json(Path(path).read_text())

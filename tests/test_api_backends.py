@@ -121,6 +121,54 @@ class TestBackendsRun:
         assert result.converged
 
 
+class TestSoCHardwareOptions:
+    """JSON-friendly hardware knobs on the soc backend (the DSE axes)."""
+
+    def test_options_reshape_the_design_point(self):
+        backend = make_backend(
+            "soc", eve_pes=8, noc="p2p", scheduler="round-robin",
+            adam_shape="16x8",
+        )
+        config = backend._resolve_config(small_spec(backend="soc"))
+        assert config.eve.num_pes == 8
+        assert config.eve.noc == "p2p"
+        assert config.eve.scheduler == "round-robin"
+        assert (config.adam.rows, config.adam.cols) == (16, 8)
+
+    def test_options_override_a_caller_config_copy(self):
+        soc_config = GeneSysConfig.paper_design_point()
+        backend = make_backend("soc", soc_config=soc_config, eve_pes=4)
+        config = backend._resolve_config(small_spec(backend="soc"))
+        assert config.eve.num_pes == 4
+        assert soc_config.eve.num_pes == 256  # caller's object untouched
+
+    def test_run_through_backend_options(self):
+        spec = small_spec(
+            backend="soc", max_generations=1,
+            backend_options={"eve_pes": 8, "noc": "p2p"},
+        )
+        result = Experiment(spec).run()
+        assert result.total_energy_j > 0
+
+    @pytest.mark.parametrize("options", [
+        {"eve_pes": 0},
+        {"eve_pes": "many"},
+        {"noc": "torus"},
+        {"scheduler": "lifo"},
+        {"adam_shape": "32"},
+        {"adam_shape": "0x8"},
+    ])
+    def test_invalid_options_raise_spec_errors(self, options):
+        from repro.api import SpecError
+
+        with pytest.raises(SpecError):
+            make_backend("soc", **options)
+
+    def test_bare_analytical_requires_platform(self):
+        with pytest.raises(UnknownBackendError, match="needs a platform"):
+            make_backend("analytical")
+
+
 class TestObservers:
     def test_software_observers_fire(self):
         generations, evaluations = [], []

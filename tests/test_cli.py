@@ -286,6 +286,129 @@ def test_hardware_conflicts_with_other_backend():
         ])
 
 
+def test_bare_analytical_backend_clean_error(capsys):
+    """'analytical' without ':<platform>' must name the platforms."""
+    code = main([
+        "run", "CartPole-v0", "--backend", "analytical", "--generations", "1",
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: the analytical backend needs a platform")
+    assert "analytical:<platform>" in err
+    assert "GENESYS" in err and "CPU_a" in err
+
+
+def _write_sweep(tmp_path, axes=None, **base_overrides):
+    from repro.api import ExperimentSpec
+    from repro.dse import SweepSpec
+
+    base = ExperimentSpec(
+        "CartPole-v0", max_generations=1, pop_size=8, max_steps=20,
+        **base_overrides,
+    )
+    path = tmp_path / "sweep.json"
+    SweepSpec(base=base, axes=axes or {"seed": [0, 1]}).save(path)
+    return path
+
+
+def test_dse_runs_and_caches(tmp_path, capsys):
+    sweep = _write_sweep(tmp_path)
+    cache = str(tmp_path / "cache")
+    args = ["dse", "--sweep", str(sweep), "--cache-dir", cache, "--quiet"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "sweep: 2 points" in out
+    assert "cache hits 0/2" in out
+    # Second invocation: everything served from the cache.
+    assert main(args) == 0
+    assert "cache hits 2/2" in capsys.readouterr().out
+
+
+def test_dse_export_and_pareto_and_group_by(tmp_path, capsys):
+    sweep = _write_sweep(tmp_path)
+    prefix = str(tmp_path / "result")
+    assert main([
+        "dse", "--sweep", str(sweep), "--no-cache", "--quiet",
+        "--export", prefix,
+        "--pareto", "fitness:max",
+        "--group-by", "seed:fitness",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Pareto frontier" in out
+    assert "fitness grouped by seed" in out
+    assert (tmp_path / "result.csv").exists()
+    assert (tmp_path / "result.json").exists()
+
+
+def test_dse_progress_lines(tmp_path, capsys):
+    sweep = _write_sweep(tmp_path)
+    assert main(["dse", "--sweep", str(sweep), "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "[1/2] run" in out
+    assert "seed=0" in out
+
+
+def test_dse_missing_sweep_file_clean_error(tmp_path, capsys):
+    assert main(["dse", "--sweep", str(tmp_path / "nope.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_dse_invalid_sweep_json_clean_error(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text("{broken")
+    assert main(["dse", "--sweep", str(path)]) == 2
+    assert "invalid sweep JSON" in capsys.readouterr().err
+
+
+def test_dse_unknown_axis_clean_error(tmp_path, capsys):
+    path = tmp_path / "sweep.json"
+    path.write_text(
+        '{"base": {"env_id": "CartPole-v0"}, "axes": {"warp": [1]}}'
+    )
+    assert main(["dse", "--sweep", str(path)]) == 2
+    assert "unknown sweep axis" in capsys.readouterr().err
+
+
+def test_dse_bad_pareto_objective_clean_error(tmp_path, capsys):
+    sweep = _write_sweep(tmp_path, axes={"seed": [0]})
+    assert main([
+        "dse", "--sweep", str(sweep), "--no-cache", "--quiet",
+        "--pareto", "fitness:up",
+    ]) == 2
+    assert "direction must be" in capsys.readouterr().err
+
+
+def test_dse_requires_sweep_flag():
+    with pytest.raises(SystemExit):
+        main(["dse"])
+
+
+def test_dse_rejects_non_positive_jobs(tmp_path, capsys):
+    sweep = _write_sweep(tmp_path, axes={"seed": [0]})
+    with pytest.raises(SystemExit) as excinfo:
+        main(["dse", "--sweep", str(sweep), "--jobs", "0"])
+    assert excinfo.value.code == 2
+    assert "must be >= 1" in capsys.readouterr().err
+
+
+def test_dse_typoed_pareto_metric_clean_error(tmp_path, capsys):
+    sweep = _write_sweep(tmp_path, axes={"seed": [0]})
+    assert main([
+        "dse", "--sweep", str(sweep), "--no-cache", "--quiet",
+        "--pareto", "fitnes:max",
+    ]) == 2
+    assert "not a numeric column" in capsys.readouterr().err
+
+
+def test_dse_typoed_group_by_axis_clean_error(tmp_path, capsys):
+    sweep = _write_sweep(tmp_path, axes={"seed": [0]})
+    assert main([
+        "dse", "--sweep", str(sweep), "--no-cache", "--quiet",
+        "--group-by", "sede",
+    ]) == 2
+    assert "unknown axis" in capsys.readouterr().err
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["warp"])

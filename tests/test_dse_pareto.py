@@ -1,0 +1,80 @@
+"""Unit tests for repro.dse Pareto-frontier extraction."""
+
+import pytest
+
+from repro.dse import ObjectiveError, dominates, pareto_front, parse_objectives
+
+
+class TestDominates:
+    def test_strictly_better(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_better_on_one_axis(self):
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_trade_off_does_not_dominate(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+
+
+class TestParetoFront:
+    ROWS = [
+        {"name": "fast-hungry", "runtime_s": 1.0, "energy_j": 9.0},
+        {"name": "slow-frugal", "runtime_s": 9.0, "energy_j": 1.0},
+        {"name": "balanced", "runtime_s": 3.0, "energy_j": 3.0},
+        {"name": "dominated", "runtime_s": 4.0, "energy_j": 4.0},
+    ]
+
+    def test_min_min_front(self):
+        front = pareto_front(
+            self.ROWS, {"runtime_s": "min", "energy_j": "min"}
+        )
+        assert [r["name"] for r in front] == [
+            "fast-hungry", "slow-frugal", "balanced",
+        ]
+
+    def test_max_direction(self):
+        rows = [
+            {"fitness": 10.0, "energy_j": 5.0},
+            {"fitness": 5.0, "energy_j": 1.0},
+            {"fitness": 9.0, "energy_j": 6.0},  # dominated both ways
+        ]
+        front = pareto_front(rows, {"fitness": "max", "energy_j": "min"})
+        assert front == rows[:2]
+
+    def test_single_objective_is_argmin(self):
+        front = pareto_front(self.ROWS, {"runtime_s": "min"})
+        assert [r["name"] for r in front] == ["fast-hungry"]
+
+    def test_rows_missing_objectives_are_excluded(self):
+        rows = self.ROWS + [{"name": "unmeasured", "runtime_s": 0.1}]
+        front = pareto_front(rows, {"runtime_s": "min", "energy_j": "min"})
+        assert all(r["name"] != "unmeasured" for r in front)
+
+    def test_ties_all_survive(self):
+        rows = [{"x": 1.0, "tag": "a"}, {"x": 1.0, "tag": "b"}]
+        assert len(pareto_front(rows, {"x": "min"})) == 2
+
+    def test_bad_direction(self):
+        with pytest.raises(ObjectiveError):
+            pareto_front(self.ROWS, {"runtime_s": "down"})
+
+
+class TestParseObjectives:
+    def test_parses_directions(self):
+        assert parse_objectives("fitness:max, energy_j:min") == {
+            "fitness": "max", "energy_j": "min",
+        }
+
+    def test_default_direction_is_min(self):
+        assert parse_objectives("runtime_s") == {"runtime_s": "min"}
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ObjectiveError, match="direction"):
+            parse_objectives("fitness:up")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ObjectiveError, match="no objectives"):
+            parse_objectives(" , ")

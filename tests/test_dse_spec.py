@@ -1,0 +1,148 @@
+"""Unit tests for repro.dse.SweepSpec: axes, expansion, JSON round-trip."""
+
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.dse import HW_AXES, SPEC_AXES, SweepSpec, SweepSpecError
+
+BASE = ExperimentSpec("CartPole-v0", max_generations=2, pop_size=10, max_steps=30)
+
+
+def sweep(**overrides) -> SweepSpec:
+    kwargs = {"base": BASE, "axes": {"seed": [0, 1]}}
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+class TestValidation:
+    def test_axis_catalogue_covers_spec_and_hardware(self):
+        assert "pop_size" in SPEC_AXES
+        assert "backend_options" not in SPEC_AXES
+        assert "hw.eve_pes" in HW_AXES
+
+    def test_unknown_axis(self):
+        with pytest.raises(SweepSpecError, match="unknown sweep axis"):
+            sweep(axes={"warp_factor": [9]})
+
+    def test_empty_axis_values(self):
+        with pytest.raises(SweepSpecError, match="non-empty list"):
+            sweep(axes={"seed": []})
+
+    def test_duplicate_axis_values(self):
+        with pytest.raises(SweepSpecError, match="duplicate"):
+            sweep(axes={"seed": [1, 1]})
+
+    def test_non_scalar_axis_value(self):
+        with pytest.raises(SweepSpecError, match="JSON scalar"):
+            sweep(axes={"seed": [[1, 2]]})
+
+    def test_no_axes(self):
+        with pytest.raises(SweepSpecError, match="at least one axis"):
+            sweep(axes={})
+
+    def test_bad_strategy(self):
+        with pytest.raises(SweepSpecError, match="strategy"):
+            sweep(strategy="exhaustive")
+
+    def test_random_needs_samples(self):
+        with pytest.raises(SweepSpecError, match="samples"):
+            sweep(strategy="random")
+
+    def test_samples_only_for_random(self):
+        with pytest.raises(SweepSpecError, match="samples"):
+            sweep(samples=4)
+
+    def test_invalid_point_value_reports_point(self):
+        bad = sweep(axes={"pop_size": [10, 1]})  # pop_size 1 is invalid
+        with pytest.raises(SweepSpecError, match="pop_size"):
+            bad.expand()
+
+
+class TestExpansion:
+    def test_grid_is_cartesian_product(self):
+        s = sweep(axes={"seed": [0, 1, 2], "episodes": [1, 2]})
+        points = s.expand()
+        assert len(points) == 6 == s.grid_size()
+        combos = {(p.axes["seed"], p.axes["episodes"]) for p in points}
+        assert combos == {(s_, e) for s_ in (0, 1, 2) for e in (1, 2)}
+        assert [p.index for p in points] == list(range(6))
+
+    def test_spec_fields_applied(self):
+        (point,) = sweep(axes={"pop_size": [24]}).expand()
+        assert point.spec.pop_size == 24
+        assert point.spec.env_id == BASE.env_id
+
+    def test_hw_axes_fold_into_soc_backend_options(self):
+        s = sweep(axes={
+            "backend": ["soc", "software"],
+            "hw.eve_pes": [32],
+            "hw.noc": ["p2p"],
+            "hw.scheduler": ["greedy"],
+            "hw.adam_shape": ["16x16"],
+        })
+        by_backend = {p.spec.backend: p for p in s.expand()}
+        soc = by_backend["soc"].spec
+        assert soc.backend_options == {
+            "eve_pes": 32, "noc": "p2p", "scheduler": "greedy",
+            "adam_shape": "16x16",
+        }
+        # Hardware axes parameterise the SoC substrate only: on other
+        # backends the effective spec is untouched (points collapse in
+        # the cache instead of failing in the backend factory).
+        assert by_backend["software"].spec.backend_options == {}
+        assert by_backend["software"].axes["hw.eve_pes"] == 32
+
+    def test_hw_axes_merge_with_existing_backend_options(self):
+        base = BASE.replace(backend="soc", backend_options={"noc": "p2p"})
+        (point,) = SweepSpec(
+            base=base, axes={"hw.eve_pes": [8]}
+        ).expand()
+        assert point.spec.backend_options == {"noc": "p2p", "eve_pes": 8}
+
+    def test_random_sampling_is_seeded_and_within_grid(self):
+        s = sweep(
+            axes={"seed": [0, 1, 2, 3], "episodes": [1, 2]},
+            strategy="random", samples=5, sample_seed=7,
+        )
+        first = [p.axes for p in s.expand()]
+        second = [p.axes for p in s.expand()]
+        assert first == second
+        assert 1 <= len(first) <= 5
+        for axes in first:
+            assert axes["seed"] in (0, 1, 2, 3)
+            assert axes["episodes"] in (1, 2)
+
+    def test_random_sampling_collapses_duplicates(self):
+        s = sweep(axes={"seed": [0]}, strategy="random", samples=10)
+        assert len(s.expand()) == 1
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        s = sweep(axes={"seed": [0, 1], "hw.eve_pes": [16, 256]})
+        clone = SweepSpec.from_json(s.to_json())
+        assert clone == s
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        s = sweep(strategy="random", samples=3, sample_seed=9)
+        s.save(path)
+        assert SweepSpec.load(path) == s
+
+    def test_from_dict_requires_base(self):
+        with pytest.raises(SweepSpecError, match="base"):
+            SweepSpec.from_dict({"axes": {"seed": [0]}})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(SweepSpecError, match="unknown sweep fields"):
+            SweepSpec.from_dict({
+                "base": BASE.to_dict(), "axes": {"seed": [0]}, "turbo": True,
+            })
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(SweepSpecError, match="object"):
+            SweepSpec.from_json("[1, 2]")
+
+    def test_invalid_json(self):
+        with pytest.raises(SweepSpecError, match="invalid sweep JSON"):
+            SweepSpec.from_json("{nope")

@@ -54,11 +54,15 @@ def assert_matches(observed, golden, label):
         )
 
 
+GOLDEN_FILES = [
+    "cartpole_software_seed0.json",
+    "mountaincar_software_seed2.json",
+    "acrobot_software_seed0.json",
+]
+
+
 @pytest.mark.parametrize("path_name", ["serial", "vectorized"])
-@pytest.mark.parametrize(
-    "golden_file",
-    ["cartpole_software_seed0.json", "mountaincar_software_seed2.json"],
-)
+@pytest.mark.parametrize("golden_file", GOLDEN_FILES)
 def test_golden_trajectory(golden_file, path_name):
     spec, golden = load_golden(golden_file)
     observed = run_trajectory(spec.replace(**PATHS[path_name]))
@@ -67,10 +71,14 @@ def test_golden_trajectory(golden_file, path_name):
 
 @pytest.mark.slow
 @pytest.mark.parametrize("path_name", ["workers2", "workers2_vectorized"])
-def test_golden_trajectory_pooled(path_name):
-    spec, golden = load_golden("cartpole_software_seed0.json")
+@pytest.mark.parametrize(
+    "golden_file",
+    ["cartpole_software_seed0.json", "acrobot_software_seed0.json"],
+)
+def test_golden_trajectory_pooled(golden_file, path_name):
+    spec, golden = load_golden(golden_file)
     observed = run_trajectory(spec.replace(**PATHS[path_name]))
-    assert_matches(observed, golden, f"cartpole:{path_name}")
+    assert_matches(observed, golden, f"{golden_file}:{path_name}")
 
 
 def test_golden_files_are_well_formed():
