@@ -35,6 +35,21 @@ def emit(capsys):
     return _emit
 
 
+@pytest.fixture(scope="session")
+def runs_root(tmp_path_factory):
+    """Session-scoped root for benches that record run artifacts
+    (:mod:`repro.runs`) — one place, cleaned up by pytest."""
+    return tmp_path_factory.mktemp("bench-runs")
+
+
+def record_run(spec, run_dir, **kwargs):
+    """Run a spec with durable artifacts (benchmark-scale wrapper over
+    :func:`repro.runs.run_in_dir`)."""
+    from repro.runs import run_in_dir
+
+    return run_in_dir(spec, run_dir, **kwargs)
+
+
 _TRACE_CACHE = {}
 
 

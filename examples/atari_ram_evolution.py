@@ -9,6 +9,9 @@ builds its architecture from — gene counts (Fig. 4b), op counts
 Atari-class genomes are one-to-two orders heavier than classic control.
 
 Usage:  python examples/atari_ram_evolution.py [generations]
+Spec-driven equivalent:
+    python -m repro characterise Alien-ram-v0 --generations 5
+    python -m repro run Asterix-ram-v0 --generations 5 --run-dir runs/asterix
 """
 
 import sys

@@ -14,6 +14,9 @@ same subsystem behind ``python -m repro dse``, here exploring the SoC's
 *reproduction* pass at single-generation granularity.
 
 Usage:  python examples/hw_design_space.py
+Spec-driven equivalent (full-experiment sweeps over the same knobs):
+    python -m repro dse --sweep examples/sweeps/design_space.json \
+        --runs-dir runs/design-space
 """
 
 from repro.analysis.reporting import render_table

@@ -15,6 +15,10 @@ This example does exactly that on a supervised regression task
    round trip back onto the GeneSys datapath.
 
 Usage:  python examples/hybrid_evolve_finetune.py
+The evolution stage is the spec-driven software loop; for gym-style
+workloads use `python -m repro run <env>` / `repro.api.run_experiment`
+(this example keeps a custom supervised fitness, passed as
+`fitness_transform`).
 """
 
 import math

@@ -7,6 +7,8 @@ coordinates (x1, y1, x2, y2) — generates every substrate connection
 weight, so the evolved artefact is the tiny CPPN, not the controller.
 
 Usage:  python examples/hyperneat_cartpole.py
+Spec-driven twin for direct-encoded NEAT on the same workload:
+    python -m repro run CartPole-v0 --generations 25 --population 60
 """
 
 from repro.analysis.reporting import render_table

@@ -9,6 +9,9 @@ charges, compared against what the platform models say an embedded CPU
 and GPU (Jetson-class) would burn for the same workload.
 
 Usage:  python examples/lunar_lander_hwloop.py [generations]
+Spec-driven equivalent:
+    python -m repro run LunarLander-v2 --backend soc --generations 12
+    (add --run-dir runs/lander to record a resumable run; see docs/runs.md)
 """
 
 import sys

@@ -17,6 +17,10 @@ Public API tour:
 * :mod:`repro.dse` — declarative design-space exploration: JSON sweep
   specs over experiment and hardware axes, incremental content-hash
   caching, Pareto analysis (``python -m repro dse``).
+* :mod:`repro.runs` — durable run artifacts: per-generation metrics
+  logs, full-state checkpoints, bit-identical resume
+  (``repro run --resume``) and artifact-only reporting
+  (``repro report``).
 * :mod:`repro.core` — the GeneSys SoC walkthrough loop and legacy
   closed-loop runner shims.
 * :mod:`repro.platforms` — analytical CPU/GPU/GENESYS platform models for
@@ -34,7 +38,7 @@ Quickstart::
 
 __version__ = "1.2.0"
 
-from . import analysis, api, baselines, core, dse, envs, hw, neat, platforms
+from . import analysis, api, baselines, core, dse, envs, hw, neat, platforms, runs
 
 __all__ = [
     "__version__",
@@ -47,4 +51,5 @@ __all__ = [
     "hw",
     "neat",
     "platforms",
+    "runs",
 ]

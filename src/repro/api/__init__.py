@@ -23,6 +23,10 @@ changing (Section III-B).  This package is that claim as an API:
   inference plans (:mod:`repro.neat.compiled`) and steps every in-flight
   episode per numpy call — composable with ``workers`` (each worker
   batches its shard) and reproducing the scalar fitness trajectories.
+* ``run_dir=...`` on :func:`run_experiment` records the run durably and
+  makes it resumable (:mod:`repro.runs`): per-generation metrics,
+  periodic full-state checkpoints, champion — with resumed runs
+  bit-identical to uninterrupted ones.
 
 Quickstart::
 
@@ -36,8 +40,12 @@ Quickstart::
 from .backends import (
     AnalyticalBackend,
     Backend,
+    EvaluationObserver,
+    GenerationObserver,
+    ResumeUnsupportedError,
     SoCBackend,
     SoftwareBackend,
+    StateObserver,
     UnknownBackendError,
     available_backends,
     make_backend,
@@ -51,14 +59,18 @@ from .spec import ExperimentSpec, SpecError
 __all__ = [
     "AnalyticalBackend",
     "Backend",
+    "EvaluationObserver",
     "Experiment",
     "ExperimentSpec",
     "GenerationMetrics",
+    "GenerationObserver",
     "ParallelFitnessEvaluator",
+    "ResumeUnsupportedError",
     "RunResult",
     "SoCBackend",
     "SoftwareBackend",
     "SpecError",
+    "StateObserver",
     "UnknownBackendError",
     "available_backends",
     "build_evaluator",

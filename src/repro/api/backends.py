@@ -49,14 +49,28 @@ GenerationObserver = Callable[[GenerationMetrics], None]
 #: Observer fired once per generation, after fitness assignment, with the
 #: evaluated genomes (fitnesses set).
 EvaluationObserver = Callable[[int, List[Genome]], None]
+#: Observer fired after each generation with the live population at its
+#: new generation boundary — the hook :mod:`repro.runs` checkpoints
+#: through (``population.to_state()`` is resumable from exactly here).
+StateObserver = Callable[[Population], None]
 
 
 class UnknownBackendError(KeyError):
     pass
 
 
+class ResumeUnsupportedError(SpecError):
+    """Raised when a backend is handed a resume state it cannot honour."""
+
+
 class Backend(Protocol):
-    """The substrate protocol: resolve a spec into a unified result."""
+    """The substrate protocol: resolve a spec into a unified result.
+
+    ``on_state`` and ``resume_state`` are optional capabilities: the
+    software-loop backends (``software``, ``analytical:*``) implement
+    both; the ``soc`` backend ignores ``on_state`` (its population lives
+    inside the chip model) and rejects ``resume_state``.
+    """
 
     name: str
 
@@ -65,6 +79,8 @@ class Backend(Protocol):
         spec: ExperimentSpec,
         on_generation: Optional[GenerationObserver] = None,
         on_evaluation: Optional[EvaluationObserver] = None,
+        on_state: Optional[StateObserver] = None,
+        resume_state: Optional[Dict] = None,
     ) -> RunResult:
         ...  # pragma: no cover - protocol
 
@@ -126,6 +142,8 @@ def _run_software_loop(
         Callable[[GenerationMetrics, GenerationWorkload], None]
     ] = None,
     collect_workloads: bool = False,
+    on_state: Optional[StateObserver] = None,
+    resume_state: Optional[Dict] = None,
 ) -> _SoftwareLoopResult:
     """Run software NEAT for a spec, emitting metrics per generation.
 
@@ -134,9 +152,22 @@ def _run_software_loop(
     a fixed seed reproduces the legacy ``evolve_software`` path exactly.
     ``decorate_metrics`` lets the analytical backend attach modelled
     costs before the ``on_generation`` observer fires.
+
+    ``resume_state`` (a :func:`repro.neat.serialize.population_to_state`
+    payload) restores the population at its checkpointed generation
+    boundary and continues from there; combined with the evaluator's
+    ``start_generation`` seed-stream offset, the continued run is
+    bit-identical to one that was never interrupted.  ``on_state`` fires
+    after every generation with the live population so callers (the
+    :mod:`repro.runs` artifact writer) can checkpoint it.
     """
     config = config_for_env(spec.env_id, spec.pop_size, spec.fitness_threshold)
-    population = Population(config, seed=spec.seed)
+    if resume_state is not None:
+        population = Population.from_state(resume_state, config)
+        start_generation = population.generation
+    else:
+        population = Population(config, seed=spec.seed)
+        start_generation = 0
     evaluator = build_evaluator(
         spec.env_id,
         episodes=spec.episodes,
@@ -145,12 +176,24 @@ def _run_software_loop(
         fitness_transform=fitness_transform,
         workers=spec.workers,
         vectorizer=spec.vectorizer,
+        start_generation=start_generation,
     )
     collect = collect_workloads or decorate_metrics is not None
     threshold = config.fitness_threshold
     out = _SoftwareLoopResult(population=population)
+    # A resumed run that had already met the stop criterion must not
+    # evolve further — the uninterrupted run would have stopped there.
+    already_converged = (
+        resume_state is not None
+        and threshold is not None
+        and population.fitness_summary() >= threshold
+    )
+    generation_range = (
+        range(0) if already_converged
+        else range(start_generation, spec.max_generations)
+    )
     try:
-        for gen_index in range(spec.max_generations):
+        for gen_index in generation_range:
             snapshot = dict(population.population) if collect else None
 
             def fitness_function(genomes, cfg, _gen=gen_index):
@@ -191,6 +234,8 @@ def _run_software_loop(
             out.metrics.append(metrics)
             if on_generation is not None:
                 on_generation(metrics)
+            if on_state is not None:
+                on_state(population)
             if threshold is not None and population.fitness_summary() >= threshold:
                 break
     finally:
@@ -224,9 +269,12 @@ class SoftwareBackend:
         spec: ExperimentSpec,
         on_generation: Optional[GenerationObserver] = None,
         on_evaluation: Optional[EvaluationObserver] = None,
+        on_state: Optional[StateObserver] = None,
+        resume_state: Optional[Dict] = None,
     ) -> RunResult:
         loop = _run_software_loop(
-            spec, self.fitness_transform, on_generation, on_evaluation
+            spec, self.fitness_transform, on_generation, on_evaluation,
+            on_state=on_state, resume_state=resume_state,
         )
         population = loop.population
         return RunResult(
@@ -278,6 +326,8 @@ class AnalyticalBackend:
         spec: ExperimentSpec,
         on_generation: Optional[GenerationObserver] = None,
         on_evaluation: Optional[EvaluationObserver] = None,
+        on_state: Optional[StateObserver] = None,
+        resume_state: Optional[Dict] = None,
     ) -> RunResult:
         def decorate(metrics: GenerationMetrics, workload: GenerationWorkload) -> None:
             inference = self.platform.inference_cost(workload)
@@ -288,6 +338,7 @@ class AnalyticalBackend:
         loop = _run_software_loop(
             spec, self.fitness_transform, on_generation, on_evaluation,
             decorate_metrics=decorate,
+            on_state=on_state, resume_state=resume_state,
         )
         population = loop.population
         return RunResult(
@@ -414,7 +465,18 @@ class SoCBackend:
         spec: ExperimentSpec,
         on_generation: Optional[GenerationObserver] = None,
         on_evaluation: Optional[EvaluationObserver] = None,
+        on_state: Optional[StateObserver] = None,
+        resume_state: Optional[Dict] = None,
     ) -> RunResult:
+        if resume_state is not None:
+            raise ResumeUnsupportedError(
+                "the soc backend does not support checkpoint/resume: its "
+                "population lives inside the serial chip simulation "
+                "(use the software or analytical backends for resumable "
+                "runs)"
+            )
+        # on_state is a software-loop capability; the SoC model exposes
+        # no Population object to snapshot, so the observer never fires.
         config = self._resolve_config(spec)
         soc = GeneSysSoC(
             config, spec.env_id, episodes=spec.episodes, max_steps=spec.max_steps

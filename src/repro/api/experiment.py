@@ -5,6 +5,12 @@ benchmarks and the legacy runner shims all share.  Rich, non-JSON
 arguments (a custom :class:`repro.core.GeneSysConfig`, a fitness
 transform callable) are passed to the constructor; everything
 serialisable lives on the spec.
+
+Durable, resumable runs layer on top of this module: pass ``run_dir``
+to :func:`run_experiment` (or use :func:`repro.runs.run_in_dir`
+directly) and the run persists ``spec.json``, per-generation
+``metrics.jsonl``, periodic full-state checkpoints and the champion —
+see :mod:`repro.runs`.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from .backends import (
     Backend,
     EvaluationObserver,
     GenerationObserver,
+    StateObserver,
     make_backend,
 )
 from .result import RunResult
@@ -23,7 +30,20 @@ from .spec import ExperimentSpec
 
 
 class Experiment:
-    """One experiment: a spec plus the backend that will run it."""
+    """One experiment: a spec plus the backend that will run it.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`ExperimentSpec` to run.
+    soc_config:
+        Optional :class:`repro.core.GeneSysConfig` for the ``soc``
+        backend (never mutated; the spec's sizing is applied to a copy).
+    fitness_transform:
+        Optional callable applied to each genome's mean episode reward
+        before it becomes fitness (the paper's "only the fitness
+        function changes between workloads").
+    """
 
     def __init__(
         self,
@@ -43,10 +63,28 @@ class Experiment:
         self,
         on_generation: Optional[GenerationObserver] = None,
         on_evaluation: Optional[EvaluationObserver] = None,
+        on_state: Optional[StateObserver] = None,
+        resume_state: Optional[Dict] = None,
     ) -> RunResult:
-        """Run the closed loop to threshold or generation budget."""
+        """Run the closed loop to threshold or generation budget.
+
+        ``on_state`` fires after each generation with the live
+        :class:`repro.neat.Population` (software-loop backends only) and
+        ``resume_state`` continues a run from a
+        :meth:`repro.neat.Population.to_state` checkpoint payload.  Both
+        are forwarded only when set, so backends registered before these
+        capabilities existed keep working unchanged.
+        """
+        extra: Dict[str, Any] = {}
+        if on_state is not None:
+            extra["on_state"] = on_state
+        if resume_state is not None:
+            extra["resume_state"] = resume_state
         return self.backend.run(
-            self.spec, on_generation=on_generation, on_evaluation=on_evaluation
+            self.spec,
+            on_generation=on_generation,
+            on_evaluation=on_evaluation,
+            **extra,
         )
 
 
@@ -54,11 +92,39 @@ def run_experiment(
     spec: Union[ExperimentSpec, str, Path],
     on_generation: Optional[GenerationObserver] = None,
     on_evaluation: Optional[EvaluationObserver] = None,
+    run_dir: Optional[Union[str, Path]] = None,
+    resume: Union[bool, str] = False,
+    checkpoint_every: Optional[int] = None,
     **experiment_kwargs,
 ) -> RunResult:
-    """Convenience: run a spec object or a spec JSON file in one call."""
+    """Convenience: run a spec object or a spec JSON file in one call.
+
+    With ``run_dir`` the run persists its artifacts (spec, per-generation
+    metrics, periodic full-state checkpoints, champion) into that
+    directory and becomes resumable: ``resume=True`` continues it from
+    the last checkpoint, ``resume="auto"`` resumes when artifacts exist
+    and starts fresh otherwise.  See :mod:`repro.runs` for the layout
+    and the bit-identity guarantee.
+    """
     if not isinstance(spec, ExperimentSpec):
         spec = ExperimentSpec.load(spec)
+    if run_dir is not None:
+        from ..runs import run_in_dir
+
+        runs_kwargs: Dict[str, Any] = {}
+        if checkpoint_every is not None:
+            runs_kwargs["checkpoint_every"] = checkpoint_every
+        return run_in_dir(
+            spec,
+            run_dir,
+            resume=resume,
+            on_generation=on_generation,
+            on_evaluation=on_evaluation,
+            **runs_kwargs,
+            **experiment_kwargs,
+        )
+    if resume:
+        raise ValueError("resume requires run_dir (a directory to resume from)")
     return Experiment(spec, **experiment_kwargs).run(
         on_generation=on_generation, on_evaluation=on_evaluation
     )

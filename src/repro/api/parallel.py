@@ -107,6 +107,7 @@ class ParallelFitnessEvaluator:
         fitness_transform: Optional[Callable[[float], float]] = None,
         workers: int = 2,
         vectorizer: str = "scalar",
+        start_generation: int = 0,
     ) -> None:
         if workers < 2:
             raise ValueError("ParallelFitnessEvaluator needs workers >= 2; "
@@ -123,7 +124,9 @@ class ParallelFitnessEvaluator:
         self.workers = workers
         self.vectorizer = vectorizer
         self.totals = EvaluationTotals()
-        self._generation = 0
+        # Episode seeds derive from the generation index, so a resumed
+        # run must restart the counter where the checkpoint left off.
+        self._generation = start_generation
         self._pool = None
         self._pool_genome_config = None
 
@@ -214,6 +217,7 @@ def build_evaluator(
     fitness_transform: Optional[Callable[[float], float]] = None,
     workers: int = 1,
     vectorizer: str = "scalar",
+    start_generation: int = 0,
 ) -> Union[FitnessEvaluator, ParallelFitnessEvaluator, BatchedEvaluator]:
     """The evaluator for a (workers, vectorizer) combination.
 
@@ -221,6 +225,11 @@ def build_evaluator(
     compiled numpy batch engine); ``workers>1`` shards the population
     over a pool, vectorizing within each worker when asked.  All four
     combinations produce identical fitnesses for a fixed seed.
+
+    ``start_generation`` pre-advances the evaluator's generation counter
+    so a run resumed from a checkpoint replays the exact episode-seed
+    stream the uninterrupted run would have seen (every evaluator
+    derives seeds through :func:`repro.envs.seeding.episode_seed`).
     """
     if vectorizer not in VECTORIZERS:
         raise ValueError(
@@ -234,6 +243,7 @@ def build_evaluator(
             max_steps=max_steps,
             seed=seed,
             fitness_transform=fitness_transform,
+            start_generation=start_generation,
         )
     return ParallelFitnessEvaluator(
         env_id,
@@ -243,4 +253,5 @@ def build_evaluator(
         fitness_transform=fitness_transform,
         workers=workers,
         vectorizer=vectorizer,
+        start_generation=start_generation,
     )

@@ -4,8 +4,10 @@ An :class:`ExperimentSpec` composes the workload (environment id), the
 algorithm settings (generations, population, episodes), the substrate
 (backend name) and the evaluation settings (workers, seed, threshold).
 It round-trips through plain dicts and JSON so specs can live in files,
-be passed over the CLI (``--spec FILE``) and be sharded across machines
-without any pickling.
+be passed over the CLI (``--spec FILE``), be sharded across machines
+without any pickling — and anchor durable run directories
+(:mod:`repro.runs` stores the producing spec as ``spec.json`` and a
+resume re-derives the whole experiment from it).
 """
 
 from __future__ import annotations

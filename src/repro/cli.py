@@ -12,12 +12,23 @@ Commands
 ``dse --sweep FILE``          declarative design-space sweep (repro.dse):
                               cached, parallel, Pareto/groupby/export
 
+``run [ENV] --run-dir DIR``       persist run artifacts (repro.runs)
+``run --resume DIR``              continue a run from its last checkpoint
+``report DIR [DIR...]``           rebuild metric tables from artifacts
+
 ``run``, ``characterise`` and ``platforms`` are spec-driven: flags build
 an :class:`repro.api.ExperimentSpec`, or ``--spec FILE`` loads one from
 JSON (explicit flags override the file).  ``--backend`` selects the
 substrate (``software``, ``soc``, ``analytical:<platform>``) and
 ``--workers N`` parallelises fitness evaluation bit-identically to the
 serial path.
+
+``--run-dir DIR`` records the run durably (spec, per-generation
+``metrics.jsonl``, periodic full-state checkpoints, champion) and
+``--resume DIR`` continues an interrupted run **bit-identically** to one
+that was never interrupted; ``report`` re-derives fitness-curve and
+hardware-metric tables from those artifacts without re-simulating
+(see :mod:`repro.runs` and ``docs/runs.md``).
 """
 
 from __future__ import annotations
@@ -104,11 +115,57 @@ def _cmd_backends(_args: argparse.Namespace) -> int:
     return 0
 
 
+#: Spec-building ``run`` flags that conflict with ``--resume`` (the spec
+#: comes from the run directory; only the generation budget may change).
+_RESUME_CONFLICTS = (
+    "env", "spec", "backend", "population", "episodes", "seed",
+    "max_steps", "workers", "vectorizer", "fitness_threshold",
+)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .api import Experiment
 
-    spec = _spec_from_args(args)
-    result = Experiment(spec).run()
+    if args.resume:
+        from .runs import RunDir, resume_run
+
+        conflicts = [
+            name for name in _RESUME_CONFLICTS
+            if getattr(args, name, None) is not None
+        ]
+        if getattr(args, "hardware", False):
+            conflicts.append("hardware")
+        if args.run_dir:
+            conflicts.append("run_dir")
+        if conflicts:
+            raise SystemExit(
+                "error: --resume takes the spec from the run directory; "
+                "only --generations may be overridden "
+                f"(conflicting: {', '.join(sorted(conflicts))})"
+            )
+        run_dir = RunDir(args.resume)
+        latest = run_dir.latest_checkpoint()
+        result = resume_run(
+            run_dir,
+            max_generations=args.generations,
+            checkpoint_every=args.checkpoint_every,
+        )
+        spec = result.spec
+        if latest is not None:
+            print(f"resumed {args.resume} from checkpoint at generation "
+                  f"{latest[0]}")
+        else:
+            print(f"restarted {args.resume} (no checkpoint recorded yet)")
+    else:
+        spec = _spec_from_args(args)
+        if args.run_dir:
+            from .runs import run_in_dir
+
+            result = run_in_dir(
+                spec, args.run_dir, checkpoint_every=args.checkpoint_every
+            )
+        else:
+            result = Experiment(spec).run()
 
     if spec.backend == "soc":
         # Legacy "[hardware]" label kept for scripts that grep it.
@@ -151,6 +208,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print("  note: --vectorizer numpy is ignored by the soc backend")
         else:
             print("  inference vectorized (compiled numpy batch engine)")
+    run_target = args.resume or args.run_dir
+    if run_target:
+        print(f"  artifacts in {run_target} "
+              f"(resume: 'repro run --resume {run_target}'; "
+              f"tables: 'repro report {run_target}')")
     if args.show:
         from .analysis.netviz import describe_genome
 
@@ -251,6 +313,40 @@ def _cmd_platforms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Rebuild metric tables from run directories — artifacts only, no
+    re-simulation."""
+    from .runs import (
+        export_reports,
+        fitness_table,
+        hardware_table,
+        load_run,
+        summary_table,
+    )
+
+    reports = [load_run(path) for path in args.dirs]
+    headers, rows = summary_table(reports)
+    print(render_table(headers, rows, title="Run summary"))
+    if not args.summary_only:
+        for report in reports:
+            print()
+            headers, rows = fitness_table(report)
+            print(render_table(
+                headers, rows,
+                title=f"{report.name}: fitness curve "
+                      f"({report.spec.env_id}, {report.spec.backend})",
+            ))
+            print()
+            headers, rows = hardware_table(report)
+            print(render_table(
+                headers, rows, title=f"{report.name}: workload and cost",
+            ))
+    if args.export:
+        csv_path, json_path = export_reports(reports, args.export)
+        print(f"\nexported {csv_path} and {json_path}")
+    return 0
+
+
 def _cmd_dse(args: argparse.Namespace) -> int:
     from .dse import (
         SweepRunner,
@@ -263,7 +359,9 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     cache_dir = None if args.no_cache else (
         args.cache_dir or default_cache_dir()
     )
-    runner = SweepRunner(sweep, cache_dir=cache_dir, jobs=args.jobs)
+    runner = SweepRunner(
+        sweep, cache_dir=cache_dir, jobs=args.jobs, runs_dir=args.runs_dir
+    )
 
     def progress(done: int, total: int, row) -> None:
         if not args.quiet:
@@ -394,6 +492,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--hardware", action="store_true",
                      help="shorthand for --backend soc (EvE/ADAM "
                           "hardware-in-the-loop path)")
+    run.add_argument("--run-dir", metavar="DIR", dest="run_dir",
+                     help="persist run artifacts (spec, metrics.jsonl, "
+                          "checkpoints, champion) into DIR; the run "
+                          "becomes resumable")
+    run.add_argument("--resume", metavar="DIR",
+                     help="continue the run recorded in DIR from its "
+                          "last checkpoint, bit-identically to an "
+                          "uninterrupted run; only --generations may "
+                          "accompany it (to extend the budget)")
+    run.add_argument("--checkpoint-every", type=_positive_int,
+                     default=None, metavar="N",
+                     help="full-state checkpoint cadence in generations "
+                          "(default 5; resume keeps the recorded "
+                          "cadence)")
     run.add_argument("--save", metavar="FILE",
                      help="save the champion genome (JSON)")
     run.add_argument("--save-spec", metavar="FILE",
@@ -448,9 +560,34 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--group-by", metavar="AXIS[:METRIC]",
                      help="print a per-axis-value summary of METRIC "
                           "(default fitness)")
+    dse.add_argument("--runs-dir", metavar="DIR", dest="runs_dir",
+                     default=None,
+                     help="write one durable run directory per evaluated "
+                          "sweep point under DIR (content-addressed; "
+                          "points become inspectable with 'repro "
+                          "report' and resumable on interruption)")
     dse.add_argument("--quiet", action="store_true",
                      help="suppress per-point progress lines")
     dse.set_defaults(func=_cmd_dse)
+
+    report = sub.add_parser(
+        "report",
+        help="rebuild metric tables from run directories",
+        description="Re-derive fitness-curve and hardware/cost tables "
+                    "from recorded run artifacts (spec.json + "
+                    "metrics.jsonl + result.json) — no re-simulation. "
+                    "Works on finished, in-progress and interrupted "
+                    "runs alike.",
+    )
+    report.add_argument("dirs", nargs="+", metavar="DIR",
+                        help="run directories (from 'run --run-dir' or "
+                             "'dse --runs-dir')")
+    report.add_argument("--summary-only", action="store_true",
+                        help="print only the cross-run summary table")
+    report.add_argument("--export", metavar="PREFIX",
+                        help="write PREFIX.csv (per-generation rows) and "
+                             "PREFIX.json (full artifacts)")
+    report.set_defaults(func=_cmd_report)
     return parser
 
 
@@ -460,11 +597,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     from .api import SpecError, UnknownBackendError
     from .dse import ObjectiveError
     from .envs.registry import UnknownEnvironmentError
+    from .neat.serialize import DeserializationError
+    from .runs import RunError
 
     try:
         return args.func(args)
     except (
-        SpecError, UnknownBackendError, UnknownEnvironmentError, ObjectiveError
+        SpecError, UnknownBackendError, UnknownEnvironmentError,
+        ObjectiveError, RunError, DeserializationError,
     ) as exc:
         # KeyError subclasses repr-quote their message; unwrap it.
         message = exc.args[0] if exc.args else exc

@@ -8,9 +8,21 @@ thin, behaviour-identical shims over :class:`repro.api.Experiment`:
 GeneSys path: NEAT selection on the System CPU, reproduction on the EvE
 PE model, inference on the ADAM systolic model).
 
-New code should build an :class:`repro.api.ExperimentSpec` instead —
-specs are JSON-serialisable, backend-agnostic and support parallel
-fitness evaluation (``workers=N``).
+New code should build an :class:`repro.api.ExperimentSpec` and run it
+with :func:`repro.api.run_experiment` instead — specs are
+JSON-serialisable, backend-agnostic, and support parallel fitness
+evaluation (``workers=N``), vectorized inference
+(``vectorizer="numpy"``) and durable, resumable run directories
+(``run_dir=...``; see :mod:`repro.runs`).  The spec-driven equivalents::
+
+    # evolve_software("CartPole-v0", max_generations=50, seed=0)
+    run_experiment(ExperimentSpec("CartPole-v0", max_generations=50, seed=0))
+
+    # evolve_on_hardware("CartPole-v0", max_generations=50)
+    run_experiment(ExperimentSpec("CartPole-v0", backend="soc",
+                                  max_generations=50))
+
+CLI twins: ``repro run CartPole-v0`` and ``repro run --backend soc``.
 """
 
 from __future__ import annotations
@@ -106,11 +118,14 @@ def evolve_software(
     """Pure-software NEAT run (the CPU/GPU baseline algorithm).
 
     .. deprecated:: 1.1
-        Use ``Experiment(ExperimentSpec(env_id, backend="software"))``.
+        Use ``run_experiment(ExperimentSpec(env_id))`` — the spec-driven
+        equivalent additionally supports ``workers``, ``vectorizer`` and
+        resumable run directories (CLI: ``repro run <env>``).
     """
     warnings.warn(
-        "evolve_software is deprecated; use repro.api.Experiment with "
-        'backend="software"',
+        "evolve_software is deprecated; use repro.api.run_experiment("
+        "ExperimentSpec(env_id)) — the spec-driven path also offers "
+        "workers=N, vectorizer='numpy' and run_dir=... (repro.runs)",
         DeprecationWarning,
         stacklevel=2,
     )
@@ -145,11 +160,14 @@ def evolve_on_hardware(
     spec's NEAT sizing and seed are applied to a copy.
 
     .. deprecated:: 1.1
-        Use ``Experiment(ExperimentSpec(env_id, backend="soc"))``.
+        Use ``run_experiment(ExperimentSpec(env_id, backend="soc"))``
+        (CLI: ``repro run <env> --backend soc``); pass rich hardware
+        design points via ``backend_options`` or ``soc_config``.
     """
     warnings.warn(
-        "evolve_on_hardware is deprecated; use repro.api.Experiment with "
-        'backend="soc"',
+        "evolve_on_hardware is deprecated; use repro.api.run_experiment("
+        "ExperimentSpec(env_id, backend='soc')) — hardware knobs go in "
+        "backend_options (eve_pes, noc, scheduler, adam_shape)",
         DeprecationWarning,
         stacklevel=2,
     )

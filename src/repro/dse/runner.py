@@ -59,16 +59,27 @@ METRIC_COLUMNS = (
 )
 
 
-def evaluate_experiment_point(spec_json: str) -> Dict[str, Any]:
+def evaluate_experiment_point(
+    spec_json: str, run_dir: Optional[str] = None
+) -> Dict[str, Any]:
     """The default executor: run one experiment spec, summarise it.
 
     Takes the spec as JSON (not a pickled object) so process-pool
-    workers rebuild it exactly the way a spec file would.
+    workers rebuild it exactly the way a spec file would.  With
+    ``run_dir`` the point executes through :func:`repro.runs.run_in_dir`
+    in ``resume="auto"`` mode: the point leaves durable artifacts
+    (metrics, checkpoints, champion) and an interrupted sweep point
+    continues from its last checkpoint instead of restarting.
     """
     from ..api import Experiment, ExperimentSpec
 
     spec = ExperimentSpec.from_json(spec_json)
-    result = Experiment(spec).run()
+    if run_dir is not None:
+        from ..runs import run_in_dir
+
+        result = run_in_dir(spec, run_dir, resume="auto")
+    else:
+        result = Experiment(spec).run()
     return {
         "fitness": result.best_fitness,
         "generations": result.generations,
@@ -86,8 +97,10 @@ class SweepResult:
 
     ``rows`` are flat dicts — axis values first, then metrics, then the
     bookkeeping columns ``point`` (expansion index), ``key`` (content
-    hash, when caching applies) and ``cached`` (served without running a
-    backend: an on-disk hit or an intra-sweep duplicate).
+    hash, when caching applies), ``cached`` (served without running a
+    backend: an on-disk hit or an intra-sweep duplicate) and — when the
+    runner was given ``runs_dir`` — ``run_dir``, the point's durable
+    artifact directory (inspect with ``repro report <run_dir>``).
     """
 
     sweep: SweepSpec
@@ -119,7 +132,7 @@ class SweepResult:
         canonical metrics first (in :data:`METRIC_COLUMNS` order, which
         also undoes the sorted-key order cached records come back in),
         then any evaluator-specific extras, with ``cached`` last."""
-        skip = set(self.axis_names) | {"point", "key"}
+        skip = set(self.axis_names) | {"point", "key", "run_dir"}
         seen: List[str] = []
         for row in self.rows:
             for name in row:
@@ -198,6 +211,8 @@ class SweepResult:
         headers = (
             self.axis_names + self.metric_names() + ["point", "key"]
         )
+        if any("run_dir" in row for row in self.rows):
+            headers = headers + ["run_dir"]
         write_csv(
             path,
             headers,
@@ -242,12 +257,23 @@ class SweepRunner:
         jobs: int = 1,
         evaluate: Optional[PointEvaluator] = None,
         evaluator_version: Optional[str] = None,
+        runs_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if runs_dir is not None and evaluate is not None:
+            raise ValueError(
+                "runs_dir applies to the default experiment executor "
+                "only; custom evaluators do not run experiments"
+            )
         self.sweep = sweep
         self.cache = SweepCache(cache_dir) if cache_dir is not None else None
         self.jobs = jobs
+        #: With ``runs_dir`` every evaluated point gets a durable,
+        #: resumable run directory ``<runs_dir>/<content-key>`` —
+        #: content-addressed like the cache, so re-sweeps find (and
+        #: interrupted sweeps resume) their points' artifacts.
+        self.runs_dir = Path(runs_dir) if runs_dir is not None else None
         self.evaluate = evaluate
         if evaluate is None:
             self.evaluator_version = EXPERIMENT_EVALUATOR
@@ -266,10 +292,17 @@ class SweepRunner:
             include_axes=self.evaluate is not None,
         )
 
-    def _run_point(self, point: SweepPoint) -> Dict[str, Any]:
+    def _point_run_dir(self, key: str) -> Optional[str]:
+        if self.runs_dir is None:
+            return None
+        return str(self.runs_dir / key)
+
+    def _run_point(self, point: SweepPoint, key: str) -> Dict[str, Any]:
         if self.evaluate is not None:
             return dict(self.evaluate(point))
-        return evaluate_experiment_point(point.spec.to_json())
+        return evaluate_experiment_point(
+            point.spec.to_json(), run_dir=self._point_run_dir(key)
+        )
 
     def run(self, progress: Optional[ProgressObserver] = None) -> SweepResult:
         points = self.sweep.expand()
@@ -284,6 +317,12 @@ class SweepRunner:
             row["point"] = points[index].index
             row["key"] = keys[index]
             row["cached"] = cached
+            if self.runs_dir is not None:
+                # Cached rows point at their artifacts too, when an
+                # earlier sweep (or this one, via a duplicate) left them.
+                point_dir = self.runs_dir / keys[index]
+                if point_dir.exists():
+                    row["run_dir"] = str(point_dir)
             rows[index] = row
             done += 1
             if progress is not None:
@@ -311,10 +350,12 @@ class SweepRunner:
 
         leaders = [indices[0] for indices in pending.values()]
         if self.evaluate is None and self.jobs > 1 and len(leaders) > 1:
-            self._run_pool(points, leaders, land_fresh)
+            self._run_pool(points, keys, leaders, land_fresh)
         else:
             for index in leaders:
-                land_fresh(index, self._run_point(points[index]))
+                land_fresh(
+                    index, self._run_point(points[index], keys[index])
+                )
         for key, metrics in fresh.items():
             for index in pending[key][1:]:
                 land(index, metrics, cached=True)
@@ -330,6 +371,7 @@ class SweepRunner:
     def _run_pool(
         self,
         points: Sequence[SweepPoint],
+        keys: Sequence[str],
         leaders: Sequence[int],
         land_fresh: Callable[[int, Mapping[str, Any]], None],
     ) -> None:
@@ -337,7 +379,9 @@ class SweepRunner:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = {
                 pool.submit(
-                    evaluate_experiment_point, points[index].spec.to_json()
+                    evaluate_experiment_point,
+                    points[index].spec.to_json(),
+                    self._point_run_dir(keys[index]),
                 ): index
                 for index in leaders
             }

@@ -85,10 +85,20 @@ class SweepPoint:
 class SweepSpec:
     """A design-space study, JSON-serialisable.
 
-    ``axes`` maps axis names to candidate-value lists.  ``strategy`` is
-    ``grid`` (full cartesian product, the default) or ``random``
-    (``samples`` draws from the grid using ``sample_seed`` — duplicates
-    collapse, so the expansion may be shorter than ``samples``).
+    ``axes`` maps axis names to candidate-value lists.  An axis name is
+    either an :class:`repro.api.ExperimentSpec` field (:data:`SPEC_AXES`
+    — ``seed``, ``backend``, ``pop_size``, …) or a GeneSys hardware knob
+    (:data:`HW_AXES` — ``hw.eve_pes``, ``hw.noc``, ``hw.scheduler``,
+    ``hw.adam_shape``), which folds into the ``soc`` backend's options
+    and leaves other backends unchanged.  ``strategy`` is ``grid`` (full
+    cartesian product, the default) or ``random`` (``samples`` draws
+    from the grid using ``sample_seed`` — duplicates collapse, so the
+    expansion may be shorter than ``samples``).
+
+    Execute with :class:`repro.dse.SweepRunner` / :func:`repro.dse.run_sweep`
+    (CLI: ``repro dse --sweep FILE``); pass ``runs_dir`` there to give
+    every evaluated point a durable, resumable :mod:`repro.runs`
+    directory.
     """
 
     base: ExperimentSpec

@@ -205,6 +205,7 @@ class FitnessEvaluator:
         max_steps: Optional[int] = None,
         seed: Optional[int] = 0,
         fitness_transform: Optional[Callable[[float], float]] = None,
+        start_generation: int = 0,
     ) -> None:
         self.env_id = env_id
         self.episodes = episodes
@@ -212,7 +213,9 @@ class FitnessEvaluator:
         self.seed = seed
         self.fitness_transform = fitness_transform
         self.totals = EvaluationTotals()
-        self._generation = 0
+        # Episode seeds derive from the generation index, so a resumed
+        # run must restart the counter where the checkpoint left off.
+        self._generation = start_generation
 
     def __call__(self, genomes: List[Genome], config: NEATConfig) -> None:
         env = make(self.env_id)

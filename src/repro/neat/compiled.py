@@ -533,6 +533,7 @@ class BatchedEvaluator:
         max_steps: Optional[int] = None,
         seed: Optional[int] = 0,
         fitness_transform: Optional[Callable[[float], float]] = None,
+        start_generation: int = 0,
     ) -> None:
         from ..envs.evaluate import EvaluationTotals
 
@@ -542,7 +543,9 @@ class BatchedEvaluator:
         self.seed = seed
         self.fitness_transform = fitness_transform
         self.totals = EvaluationTotals()
-        self._generation = 0
+        # Episode seeds derive from the generation index, so a resumed
+        # run must restart the counter where the checkpoint left off.
+        self._generation = start_generation
         self._env_batch = None
 
     def _episode_seeds(self, genome: Genome) -> List[int]:

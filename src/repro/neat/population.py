@@ -129,3 +129,30 @@ class Population:
         if threshold is None or self.best_genome is None:
             return False
         return (self.best_genome.fitness or float("-inf")) >= threshold
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+
+    def to_state(self) -> dict:
+        """Snapshot the full evolution state at a generation boundary.
+
+        The returned dict is JSON-serialisable and captures everything a
+        bit-identical resume needs: genomes, speciation, innovation and
+        genome-key counters, the RNG state and the last reproduction
+        plan.  See :func:`repro.neat.serialize.population_to_state`.
+        """
+        from .serialize import population_to_state
+
+        return population_to_state(self)
+
+    @classmethod
+    def from_state(cls, state: dict, config: NEATConfig) -> "Population":
+        """Rebuild a population from a :meth:`to_state` snapshot.
+
+        ``config`` must match the one recorded in the snapshot;
+        :class:`repro.neat.serialize.DeserializationError` is raised for
+        a foreign config or a malformed/unsupported payload.
+        """
+        from .serialize import population_from_state
+
+        return population_from_state(state, config)

@@ -1,0 +1,236 @@
+"""Durable, resumable experiment execution.
+
+:func:`run_in_dir` is :func:`repro.api.run_experiment` with a memory: it
+streams every generation's metrics to ``metrics.jsonl``, snapshots the
+full evolution state every ``checkpoint_every`` generations (plus once
+at the end), keeps ``champion.json`` current, and stamps ``result.json``
+when the run completes.  :func:`resume_run` continues an interrupted run
+from its last checkpoint.
+
+The guarantee (golden-tested in ``tests/test_resume_golden.py``): a run
+killed at any generation and resumed produces a ``metrics.jsonl``,
+``champion.json`` and fitness trajectory *byte-identical* to the run
+that was never interrupted — across the serial, ``workers=N`` pooled and
+``vectorizer="numpy"`` evaluation paths.  Three pieces compose to make
+that true:
+
+* checkpoints capture everything (:mod:`repro.neat.serialize` state
+  format: genomes, speciation, counters, RNG, last plan);
+* the evaluator's episode-seed stream is a pure function of
+  ``(experiment seed, generation, genome key, episode)``, so resuming at
+  generation *k* replays exactly the seeds the uninterrupted run used;
+* resume rewinds ``metrics.jsonl`` to the checkpoint's boundary before
+  re-appending, so rows past the last checkpoint are regenerated rather
+  than duplicated.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..api.backends import EvaluationObserver, GenerationObserver, StateObserver
+from ..api.experiment import Experiment
+from ..api.result import GenerationMetrics, RunResult
+from ..api.spec import ExperimentSpec
+from ..neat.population import Population
+from .artifacts import RunDir, RunError
+
+#: Default checkpoint cadence (generations between full-state snapshots).
+DEFAULT_CHECKPOINT_EVERY = 5
+
+
+class RunWriter:
+    """The observer bundle that persists a run's artifacts as it goes.
+
+    Wire :meth:`on_generation` / :meth:`on_state` into
+    :meth:`repro.api.Experiment.run` and call :meth:`finalize` with the
+    result; :func:`run_in_dir` does exactly this.
+    """
+
+    def __init__(
+        self,
+        run_dir: RunDir,
+        spec: ExperimentSpec,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.run_dir = run_dir
+        self.spec = spec
+        self.checkpoint_every = checkpoint_every
+        self._population: Optional[Population] = None
+        self._last_checkpoint_generation: Optional[int] = None
+
+    def on_generation(self, metrics: GenerationMetrics) -> None:
+        self.run_dir.append_metrics(metrics.to_dict())
+
+    def on_state(self, population: Population) -> None:
+        # The cadence is modulo the absolute generation (not "every N
+        # since start"), so interrupted and uninterrupted runs lay down
+        # the same checkpoint files.
+        self._population = population
+        if population.generation % self.checkpoint_every == 0:
+            self.checkpoint(population)
+
+    def checkpoint(self, population: Population) -> None:
+        self.run_dir.write_checkpoint(population.to_state())
+        self._last_checkpoint_generation = population.generation
+        if population.best_genome is not None:
+            self.run_dir.write_champion(
+                population.best_genome, population.config
+            )
+
+    def finalize(self, result: RunResult) -> None:
+        """Seal the run: final checkpoint, champion, result summary."""
+        if (
+            self._population is not None
+            and self._population.generation != self._last_checkpoint_generation
+        ):
+            self.checkpoint(self._population)
+        self.run_dir.write_champion(result.champion, result.neat_config)
+        self.run_dir.write_result(result.summary())
+
+
+def _resolve_resume_spec(
+    run_dir: RunDir, spec: Optional[ExperimentSpec]
+) -> ExperimentSpec:
+    """The spec a resume runs under: the stored one, optionally with an
+    extended/shrunk generation budget — any other difference would break
+    the bit-identity contract, so it is rejected."""
+    stored = run_dir.load_spec()
+    if spec is None:
+        return stored
+    if spec.replace(max_generations=stored.max_generations) != stored:
+        raise RunError(
+            f"resume spec differs from the one stored in {run_dir.path} "
+            "in more than max_generations; resuming under a different "
+            "spec would diverge from the recorded run"
+        )
+    if spec != stored:
+        run_dir.write_spec(spec)
+    return spec
+
+
+def run_in_dir(
+    spec: Optional[Union[ExperimentSpec, str, Path]],
+    run_dir: Union[str, Path, RunDir],
+    *,
+    resume: Union[bool, str] = False,
+    checkpoint_every: Optional[int] = None,
+    on_generation: Optional[GenerationObserver] = None,
+    on_evaluation: Optional[EvaluationObserver] = None,
+    on_state: Optional[StateObserver] = None,
+    **experiment_kwargs: Any,
+) -> RunResult:
+    """Run an experiment with durable artifacts in ``run_dir``.
+
+    ``resume=False`` starts a fresh run and refuses a directory that
+    already holds one (pass a new directory or resume explicitly).
+    ``resume=True`` continues from the last checkpoint — ``spec`` may be
+    ``None`` (use the stored one) or differ only in ``max_generations``
+    (extending a finished run is legitimate; anything else would
+    diverge).  ``resume="auto"`` resumes when artifacts exist and starts
+    fresh otherwise — the mode the DSE sweep engine uses.
+
+    Returns the same :class:`repro.api.RunResult` a plain
+    :meth:`Experiment.run` would, with ``metrics`` covering the *whole*
+    trajectory (persisted prefix + freshly run generations).
+    """
+    rd = run_dir if isinstance(run_dir, RunDir) else RunDir(run_dir)
+    if spec is not None and not isinstance(spec, ExperimentSpec):
+        spec = ExperimentSpec.load(spec)
+    if resume == "auto":
+        resume = rd.has_artifacts()
+    elif not isinstance(resume, bool):
+        raise ValueError(f"resume must be True, False or 'auto', got {resume!r}")
+
+    resume_state: Optional[Dict[str, Any]] = None
+    prefix_rows: List[Dict[str, Any]] = []
+    if resume:
+        spec = _resolve_resume_spec(rd, spec)
+        if checkpoint_every is None:
+            # Keep the original cadence so an interrupted-and-resumed
+            # run lays down the same checkpoint files as an
+            # uninterrupted one.
+            checkpoint_every = rd.load_meta().get(
+                "checkpoint_every", DEFAULT_CHECKPOINT_EVERY
+            )
+        elif rd.load_meta().get("checkpoint_every") != checkpoint_every:
+            rd.write_meta(checkpoint_every=checkpoint_every)
+        latest = rd.latest_checkpoint()
+        if latest is not None:
+            resume_state = rd.load_checkpoint(latest[0])
+            # Rewind metrics to the checkpoint boundary; the generations
+            # past it re-run and re-append identical rows.
+            prefix_rows = rd.truncate_metrics(int(resume_state["generation"]))
+        else:
+            # Interrupted before the first checkpoint: a full restart is
+            # the resume (the initial population is a pure function of
+            # the spec, so this still reproduces the original run).
+            rd.create()
+            rd.truncate_metrics(0)
+    else:
+        if rd.has_artifacts():
+            raise RunError(
+                f"{rd.path} already holds a run; resume it or pick a "
+                "fresh directory"
+            )
+        if spec is None:
+            raise RunError("a spec is required to start a fresh run")
+        if checkpoint_every is None:
+            checkpoint_every = DEFAULT_CHECKPOINT_EVERY
+        rd.create()
+        rd.write_spec(spec)
+        rd.write_meta(checkpoint_every=checkpoint_every)
+
+    writer = RunWriter(rd, spec, checkpoint_every=checkpoint_every)
+
+    def generation_observer(metrics: GenerationMetrics) -> None:
+        writer.on_generation(metrics)
+        if on_generation is not None:
+            on_generation(metrics)
+
+    def state_observer(population: Population) -> None:
+        writer.on_state(population)
+        if on_state is not None:
+            on_state(population)
+
+    result = Experiment(spec, **experiment_kwargs).run(
+        on_generation=generation_observer,
+        on_evaluation=on_evaluation,
+        on_state=state_observer,
+        resume_state=resume_state,
+    )
+    if prefix_rows:
+        prefix = [GenerationMetrics(**row) for row in prefix_rows]
+        result.metrics = prefix + result.metrics
+        if result.total_energy_j is not None:
+            result.total_energy_j = sum(
+                m.energy_j or 0.0 for m in result.metrics
+            )
+        if result.total_runtime_s is not None:
+            result.total_runtime_s = sum(
+                m.runtime_s or 0.0 for m in result.metrics
+            )
+    writer.finalize(result)
+    return result
+
+
+def resume_run(
+    run_dir: Union[str, Path, RunDir],
+    max_generations: Optional[int] = None,
+    **kwargs: Any,
+) -> RunResult:
+    """Continue an interrupted (or extend a finished) run.
+
+    ``max_generations`` overrides the stored budget — the one spec field
+    a resume may change; a completed run resumed with a larger budget
+    keeps evolving from its final checkpoint with no re-simulation of
+    the generations already on disk.
+    """
+    rd = run_dir if isinstance(run_dir, RunDir) else RunDir(run_dir)
+    spec: Optional[ExperimentSpec] = None
+    if max_generations is not None:
+        spec = rd.load_spec().replace(max_generations=max_generations)
+    return run_in_dir(spec, rd, resume=True, **kwargs)

@@ -409,6 +409,84 @@ def test_dse_typoed_group_by_axis_clean_error(tmp_path, capsys):
     assert "unknown axis" in capsys.readouterr().err
 
 
+def test_run_with_run_dir_and_resume(tmp_path, capsys):
+    run_dir = str(tmp_path / "run")
+    assert main([
+        "run", "CartPole-v0", "--generations", "3", "--population", "12",
+        "--max-steps", "30", "--fitness-threshold", "1000",
+        "--run-dir", run_dir, "--checkpoint-every", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert f"artifacts in {run_dir}" in out
+    assert (tmp_path / "run" / "metrics.jsonl").exists()
+    assert (tmp_path / "run" / "result.json").exists()
+
+    # Extend via --resume --generations; spec comes from the directory.
+    assert main(["run", "--resume", run_dir, "--generations", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "resumed" in out and "checkpoint at generation 3" in out
+    assert "after 4 generations" in out
+
+
+def test_run_resume_rejects_spec_flags(tmp_path, capsys):
+    run_dir = str(tmp_path / "run")
+    assert main([
+        "run", "CartPole-v0", "--generations", "2", "--population", "10",
+        "--max-steps", "20", "--run-dir", run_dir,
+    ]) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--resume", run_dir, "--seed", "3"])
+    assert "only --generations" in str(excinfo.value)
+    # Zero-valued flags are overrides too (0 must not read as "unset").
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--resume", run_dir, "--seed", "0"])
+    assert "only --generations" in str(excinfo.value)
+
+
+def test_run_resume_missing_dir_clean_error(tmp_path, capsys):
+    assert main(["run", "--resume", str(tmp_path / "nope")]) == 2
+    assert "no spec.json" in capsys.readouterr().err
+
+
+def test_report_command(tmp_path, capsys):
+    run_dir = str(tmp_path / "run")
+    assert main([
+        "run", "CartPole-v0", "--generations", "2", "--population", "10",
+        "--max-steps", "20", "--fitness-threshold", "1000",
+        "--run-dir", run_dir,
+    ]) == 0
+    capsys.readouterr()
+    prefix = str(tmp_path / "out")
+    assert main(["report", run_dir, "--export", prefix]) == 0
+    out = capsys.readouterr().out
+    assert "Run summary" in out
+    assert "fitness curve" in out
+    assert (tmp_path / "out.csv").exists()
+    assert (tmp_path / "out.json").exists()
+
+
+def test_report_not_a_run_dir_clean_error(tmp_path, capsys):
+    assert main(["report", str(tmp_path)]) == 2
+    assert "no spec.json" in capsys.readouterr().err
+
+
+def test_dse_runs_dir(tmp_path, capsys):
+    sweep = _write_sweep(tmp_path, axes={"seed": [0]})
+    runs_dir = tmp_path / "points"
+    assert main([
+        "dse", "--sweep", str(sweep), "--no-cache", "--quiet",
+        "--runs-dir", str(runs_dir),
+    ]) == 0
+    point_dirs = list(runs_dir.iterdir())
+    assert len(point_dirs) == 1
+    assert (point_dirs[0] / "metrics.jsonl").exists()
+    capsys.readouterr()
+    # The recorded point is inspectable with `repro report`.
+    assert main(["report", str(point_dirs[0]), "--summary-only"]) == 0
+    assert "CartPole-v0" in capsys.readouterr().out
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["warp"])

@@ -1,0 +1,149 @@
+"""The documentation layer: existence, link integrity, freshness.
+
+Docs rot in three ways — pages vanish, links dangle, generated
+references drift from the code.  Each gets a gate here; the CI docs job
+runs this file plus ``python -m repro.docsgen --check``.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).parent.parent
+DOCS = REPO / "docs"
+
+REQUIRED_PAGES = [
+    "index.md", "architecture.md", "paper-map.md", "runs.md", "cli.md",
+]
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files():
+    return [REPO / "README.md", REPO / "PAPERS.md"] + sorted(
+        DOCS.glob("*.md")
+    )
+
+
+class TestPagesExist:
+    @pytest.mark.parametrize("page", REQUIRED_PAGES)
+    def test_required_page(self, page):
+        path = DOCS / page
+        assert path.exists(), f"docs/{page} is missing"
+        assert path.read_text().strip(), f"docs/{page} is empty"
+
+    def test_readme_links_the_docs(self):
+        readme = (REPO / "README.md").read_text()
+        for page in ("architecture.md", "paper-map.md", "runs.md", "cli.md"):
+            assert f"docs/{page}" in readme, (
+                f"README does not link docs/{page}"
+            )
+
+
+class TestLinksResolve:
+    @pytest.mark.parametrize(
+        "md_file", markdown_files(), ids=lambda p: p.name
+    )
+    def test_relative_links(self, md_file):
+        text = md_file.read_text()
+        broken = []
+        for target in _LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page anchor
+                continue
+            resolved = (md_file.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append(target)
+        assert not broken, f"{md_file.name}: broken links {broken}"
+
+    def test_anchor_links_into_papers(self):
+        """docs cite PAPERS.md entries via explicit anchors."""
+        papers = (REPO / "PAPERS.md").read_text()
+        anchors = set(re.findall(r'<a id="([^"]+)"></a>', papers))
+        for md_file in markdown_files():
+            for target in _LINK_RE.findall(md_file.read_text()):
+                if "PAPERS.md#" in target:
+                    anchor = target.rsplit("#", 1)[1]
+                    assert anchor in anchors, (
+                        f"{md_file.name} cites PAPERS.md#{anchor}, "
+                        f"which does not exist"
+                    )
+
+
+class TestPaperMap:
+    def test_every_named_bench_exists(self):
+        text = (DOCS / "paper-map.md").read_text()
+        benches = set(re.findall(r"benchmarks/(bench_\w+\.py)", text))
+        assert benches, "paper-map.md names no benchmarks"
+        missing = [b for b in benches if not (REPO / "benchmarks" / b).exists()]
+        assert not missing, f"paper-map.md names missing benches: {missing}"
+
+    def test_every_bench_is_mapped(self):
+        """New benchmarks must be added to the paper map."""
+        text = (DOCS / "paper-map.md").read_text()
+        unmapped = [
+            bench.name
+            for bench in (REPO / "benchmarks").glob("bench_*.py")
+            if bench.name not in text
+        ]
+        assert not unmapped, (
+            f"benches missing from docs/paper-map.md: {unmapped}"
+        )
+
+
+class TestPapersEntries:
+    def test_vetted_related_work_present(self):
+        papers = (REPO / "PAPERS.md").read_text()
+        assert "Stanley" in papers and "Miikkulainen" in papers
+        assert "Evolving Neural Networks through" in papers
+        assert "Such" in papers and "1712.06567" in papers
+
+    def test_docs_cite_the_vetted_entries(self):
+        cited = "".join(p.read_text() for p in DOCS.glob("*.md"))
+        assert "PAPERS.md#stanley2002neat" in cited
+        assert "PAPERS.md#such2017deepneuro" in cited
+
+
+class TestCliReferenceFresh:
+    def test_generated_page_matches_parser(self):
+        from repro.docsgen import cli_reference_markdown
+
+        committed = (DOCS / "cli.md").read_text()
+        assert committed == cli_reference_markdown(), (
+            "docs/cli.md is stale — regenerate with "
+            "'PYTHONPATH=src python -m repro.docsgen'"
+        )
+
+    def test_check_mode(self, capsys):
+        from repro.docsgen import main
+
+        assert main(["--check", str(DOCS / "cli.md")]) == 0
+
+    def test_check_mode_detects_stale(self, tmp_path):
+        from repro.docsgen import main
+
+        stale = tmp_path / "cli.md"
+        stale.write_text("# stale\n")
+        assert main(["--check", str(stale)]) == 1
+
+    def test_generator_writes_requested_path(self, tmp_path):
+        from repro.docsgen import cli_reference_markdown, main
+
+        out = tmp_path / "cli.md"
+        assert main([str(out)]) == 0
+        assert out.read_text() == cli_reference_markdown()
+
+    def test_reference_covers_every_subcommand(self):
+        from repro.cli import build_parser
+
+        text = (DOCS / "cli.md").read_text()
+        parser = build_parser()
+        for action in parser._actions:
+            if hasattr(action, "choices") and action.choices:
+                for name in action.choices:
+                    assert f"## `repro {name}`" in text, (
+                        f"docs/cli.md lacks a section for 'repro {name}'"
+                    )

@@ -162,6 +162,69 @@ class TestExecution:
             SweepRunner(SweepSpec(base=BASE, axes={"seed": [0]}), jobs=0)
 
 
+class TestRunsDir:
+    def test_every_evaluated_point_gets_a_run_dir(self, tmp_path):
+        sweep = SweepSpec(base=BASE, axes={"seed": [0, 1]})
+        result = run_sweep(
+            sweep, cache_dir=tmp_path / "cache",
+            runs_dir=tmp_path / "points",
+        )
+        for row in result.rows:
+            assert row["run_dir"] == str(tmp_path / "points" / row["key"])
+            metrics = (tmp_path / "points" / row["key"] / "metrics.jsonl")
+            assert metrics.exists()
+
+    def test_cached_rerun_keeps_run_dir_column(self, tmp_path):
+        sweep = SweepSpec(base=BASE, axes={"seed": [0]})
+        kwargs = dict(cache_dir=tmp_path / "cache",
+                      runs_dir=tmp_path / "points")
+        first = run_sweep(sweep, **kwargs)
+        again = run_sweep(sweep, **kwargs)
+        assert again.cache_hits == 1
+        assert again.rows[0]["run_dir"] == first.rows[0]["run_dir"]
+
+    def test_run_dir_excluded_from_metric_columns(self, tmp_path):
+        sweep = SweepSpec(base=BASE, axes={"seed": [0]})
+        result = run_sweep(sweep, runs_dir=tmp_path / "points")
+        assert "run_dir" not in result.metric_names()
+        headers, _ = result.table()
+        assert "run_dir" not in headers
+
+    def test_run_dir_in_csv_export(self, tmp_path):
+        sweep = SweepSpec(base=BASE, axes={"seed": [0]})
+        result = run_sweep(sweep, runs_dir=tmp_path / "points")
+        result.to_csv(tmp_path / "out.csv")
+        header = (tmp_path / "out.csv").read_text().splitlines()[0]
+        assert header.endswith("run_dir")
+
+    def test_point_run_dirs_are_resumable_records(self, tmp_path):
+        from repro.runs import load_run
+
+        sweep = SweepSpec(base=BASE, axes={"seed": [0]})
+        result = run_sweep(sweep, runs_dir=tmp_path / "points")
+        report = load_run(result.rows[0]["run_dir"])
+        assert report.complete
+        assert report.spec.seed == 0
+
+    def test_pool_jobs_compose_with_runs_dir(self, tmp_path):
+        sweep = SweepSpec(base=BASE, axes={"seed": [0, 1]})
+        result = run_sweep(
+            sweep, jobs=2, cache_dir=tmp_path / "cache",
+            runs_dir=tmp_path / "points",
+        )
+        assert all(
+            (tmp_path / "points" / row["key"] / "result.json").exists()
+            for row in result.rows
+        )
+
+    def test_runs_dir_rejected_with_custom_evaluator(self, tmp_path):
+        with pytest.raises(ValueError, match="default experiment executor"):
+            stub_runner(
+                SweepSpec(base=BASE, axes={"seed": [0]}), [],
+                runs_dir=tmp_path / "points",
+            )
+
+
 class TestReplayEvaluator:
     def test_eve_replay_sweep_is_deterministic_and_ordered(self):
         """The Fig. 11 methodology through the sweep engine: replaying a

@@ -132,6 +132,107 @@ class TestFailureModes:
             load_genome_with_config(path)
 
 
+class TestPopulationState:
+    """The full evolution-state format behind checkpoint/resume."""
+
+    def make_population(self, config, generations=2):
+        from repro.envs.evaluate import FitnessEvaluator
+        from repro.neat.population import Population
+
+        population = Population(config, seed=0)
+        evaluator = FitnessEvaluator("CartPole-v0", max_steps=20, seed=0)
+        for _ in range(generations):
+            population.run_generation(evaluator)
+        return population
+
+    @pytest.fixture
+    def cartpole_config(self):
+        return NEATConfig.for_env(4, 2, pop_size=10)
+
+    def test_round_trip_preserves_everything(self, cartpole_config):
+        from repro.neat.population import Population
+        from repro.neat.serialize import population_to_state
+
+        population = self.make_population(cartpole_config)
+        state = json.loads(json.dumps(population_to_state(population)))
+        restored = Population.from_state(state, cartpole_config)
+        assert restored.generation == population.generation
+        assert restored.rng.getstate() == population.rng.getstate()
+        assert list(restored.population) == list(population.population)
+        assert restored.innovations.next_node_id == population.innovations.next_node_id
+        assert (restored.reproduction._next_genome_key
+                == population.reproduction._next_genome_key)
+        assert list(restored.species_set.species) == list(
+            population.species_set.species
+        )
+        assert restored.best_genome.fitness == population.best_genome.fitness
+        assert len(restored.last_plan.events) == len(population.last_plan.events)
+
+    def test_representatives_are_member_objects(self, cartpole_config):
+        from repro.neat.population import Population
+
+        population = self.make_population(cartpole_config)
+        restored = Population.from_state(
+            population.to_state(), cartpole_config
+        )
+        for species in restored.species_set.species.values():
+            assert species.representative is restored.population[
+                species.representative.key
+            ]
+
+    def test_bad_state_format_version(self, cartpole_config):
+        from repro.neat.population import Population
+
+        state = self.make_population(cartpole_config).to_state()
+        state["format"] = 99
+        with pytest.raises(DeserializationError, match="format version"):
+            Population.from_state(state, cartpole_config)
+
+    def test_foreign_config_rejected(self, cartpole_config):
+        from repro.neat.population import Population
+
+        state = self.make_population(cartpole_config).to_state()
+        foreign = NEATConfig.for_env(2, 3, pop_size=10)
+        with pytest.raises(DeserializationError, match="different NEAT config"):
+            Population.from_state(state, foreign)
+
+    def test_truncated_state_file(self, cartpole_config, tmp_path):
+        from repro.neat.serialize import (
+            load_population_state,
+            save_population_state,
+        )
+
+        population = self.make_population(cartpole_config)
+        path = tmp_path / "ckpt.json"
+        save_population_state(population, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # simulate a torn write
+        with pytest.raises(DeserializationError, match="not valid JSON"):
+            load_population_state(path)
+
+    def test_state_file_without_population(self, tmp_path):
+        from repro.neat.serialize import load_population_state
+
+        path = tmp_path / "notckpt.json"
+        path.write_text(json.dumps({"format": 1, "generation": 3}))
+        with pytest.raises(DeserializationError, match="population-state"):
+            load_population_state(path)
+
+    def test_malformed_state_payload(self, cartpole_config):
+        from repro.neat.population import Population
+
+        state = self.make_population(cartpole_config).to_state()
+        del state["rng_state"]
+        with pytest.raises(DeserializationError, match="malformed population state"):
+            Population.from_state(state, cartpole_config)
+
+    def test_non_dict_state(self, cartpole_config):
+        from repro.neat.serialize import population_from_state
+
+        with pytest.raises(DeserializationError, match="JSON object"):
+            population_from_state(["not", "a", "dict"], cartpole_config)
+
+
 class TestHardwareInterop:
     def test_loaded_genome_encodes(self, genome, config, tmp_path):
         from repro.hw import encode_genome
