@@ -62,10 +62,10 @@ def test_fig11a_gene_composition(benchmark, emit):
 
 def test_fig11b_noc_ablation(benchmark, emit):
     result = replay_sweep(
-        {"hw.eve_pes": PE_SWEEP, "hw.noc": ["p2p", "multicast"]}
+        {"platform.eve_pes": PE_SWEEP, "platform.noc": ["p2p", "multicast"]}
     )
     reads = {
-        (row["hw.eve_pes"], row["hw.noc"]): row["reads_per_cycle"]
+        (row["platform.eve_pes"], row["platform.noc"]): row["reads_per_cycle"]
         for row in result.rows
     }
     rows = []
@@ -93,7 +93,7 @@ def test_fig11b_noc_ablation(benchmark, emit):
 
     def replay():
         return replay_sweep(
-            {"hw.eve_pes": [8], "hw.noc": ["multicast"]}, workload=workload2
+            {"platform.eve_pes": [8], "platform.noc": ["multicast"]}, workload=workload2
         )
 
     benchmark(replay)
@@ -110,13 +110,13 @@ def test_fig11c_pe_sweep(benchmark, emit):
         adam.run(inference_plan, [0.0] * config.genome.num_inputs)
     adam_cycles = adam.stats.total_cycles * steps_per_genome
 
-    result = replay_sweep({"hw.eve_pes": PE_SWEEP, "hw.noc": ["multicast"]})
+    result = replay_sweep({"platform.eve_pes": PE_SWEEP, "platform.noc": ["multicast"]})
     rows = []
     series = []
     for row in result.rows:
-        series.append((row["hw.eve_pes"], row["cycles"], row["sram_energy_uj"]))
+        series.append((row["platform.eve_pes"], row["cycles"], row["sram_energy_uj"]))
         rows.append([
-            row["hw.eve_pes"], row["cycles"], adam_cycles,
+            row["platform.eve_pes"], row["cycles"], adam_cycles,
             f"{row['sram_energy_uj']:.2f}",
         ])
     emit(render_table(
@@ -135,6 +135,6 @@ def test_fig11c_pe_sweep(benchmark, emit):
     assert energies[-1] < energies[0]
 
     def sweep_point():
-        return replay_sweep({"hw.eve_pes": [16], "hw.noc": ["multicast"]})
+        return replay_sweep({"platform.eve_pes": [16], "platform.noc": ["multicast"]})
 
     benchmark(sweep_point)

@@ -58,10 +58,10 @@ def main() -> None:
     evaluate = eve_replay_evaluator(*record_plan())
 
     # -- axis 1: PE count ---------------------------------------------------
-    result = run_axis({"hw.eve_pes": [2, 8, 32, 128, 256]}, evaluate)
+    result = run_axis({"platform.eve_pes": [2, 8, 32, 128, 256]}, evaluate)
     rows = []
     for row in result.rows:
-        num_pes = row["hw.eve_pes"]
+        num_pes = row["platform.eve_pes"]
         rows.append([
             num_pes,
             row["waves"],
@@ -80,11 +80,11 @@ def main() -> None:
 
     # -- axis 2: NoC --------------------------------------------------------
     result = run_axis(
-        {"hw.eve_pes": [32], "hw.noc": ["p2p", "multicast"]}, evaluate
+        {"platform.eve_pes": [32], "platform.noc": ["p2p", "multicast"]}, evaluate
     )
     rows = [
         [
-            row["hw.noc"],
+            row["platform.noc"],
             row["sram_reads"],
             f"{row['reads_per_cycle']:.2f}",
             row["multicast_hits"],
@@ -103,14 +103,14 @@ def main() -> None:
     # co-scheduled children share parent streams over the multicast tree.
     result = run_axis(
         {
-            "hw.eve_pes": [4],
-            "hw.noc": ["multicast"],
-            "hw.scheduler": ["greedy", "round-robin"],
+            "platform.eve_pes": [4],
+            "platform.noc": ["multicast"],
+            "platform.scheduler": ["greedy", "round-robin"],
         },
         evaluate,
     )
     rows = [
-        [row["hw.scheduler"], row["sram_reads"], row["cycles"]]
+        [row["platform.scheduler"], row["sram_reads"], row["cycles"]]
         for row in result.rows
     ]
     print()

@@ -10,9 +10,18 @@ mirroring the paper's three evaluation substrates:
     The EvE/ADAM hardware-in-the-loop SoC models (Section IV): selection
     on the System CPU, reproduction on the EvE PEs, inference on ADAM.
 ``analytical:<platform>``
-    Software evolution costed through one of the Table III analytical
-    platform models (``CPU_a`` … ``GPU_d``, ``GENESYS``); adds modelled
-    per-generation runtime and energy to the metrics.
+    Software evolution costed through a platform model resolved from
+    the open :mod:`repro.platforms` registry (the Table III legend
+    names ``CPU_a`` … ``GPU_d``, ``GENESYS``, the ``soc`` design
+    point's analytical projection, and any custom registration); adds
+    modelled per-generation runtime and energy to the metrics.
+
+Both hardware-substrate backends resolve their platform through the
+registry: ``analytical:<name>`` looks the name up, and an
+:class:`ExperimentSpec` with an embedded ``platform`` block hands the
+spec straight to the backend (``analytical`` cost models and the
+``soc`` cycle-level design point alike), so registering a platform is
+all it takes to run experiments on it.
 
 The registry is string-keyed like :mod:`repro.envs.registry`; the part
 after a ``:`` parameterises the backend (the platform legend name).
@@ -33,16 +42,22 @@ from ..core.soc import GenerationReport, GeneSysSoC
 from ..core.trace import GenerationWorkload, _mean_depth
 from ..hw.allocator import SCHEDULERS
 from ..hw.energy import cycles_to_seconds
+from ..hw.noc import NOC_KINDS, canonical_noc_kind
 from ..neat.genome import Genome
 from ..neat.population import Population
-from ..platforms import make_platform, platform_names
+from ..platforms import (
+    Platform,
+    PlatformSpec,
+    PlatformSpecError,
+    SoCPlatform,
+    UnknownPlatformError,
+    make_platform,
+    parse_adam_shape,
+    platform_names,
+)
 from .parallel import build_evaluator
 from .result import GenerationMetrics, RunResult
 from .spec import ExperimentSpec, SpecError
-
-#: Canonical NoC kinds the SoC design point accepts (:mod:`repro.hw.noc`
-#: is fuzzy about spellings; sweeps and backend options use these).
-NOC_KINDS = ("p2p", "multicast")
 
 #: Observer fired after each generation with its metrics.
 GenerationObserver = Callable[[GenerationMetrics], None]
@@ -290,34 +305,52 @@ class SoftwareBackend:
 
 
 class AnalyticalBackend:
-    """Software evolution costed through a Table III platform model.
+    """Software evolution costed through a registered platform model.
 
     The loop (and therefore the champion) is identical to the software
     backend; each generation's workload aggregates are fed to the chosen
     platform's inference/evolution cost models, so the run carries the
     modelled runtime and energy a real deployment on that platform would
     exhibit (the per-generation bars of Fig. 9).
+
+    The platform resolves through the open registry
+    (:mod:`repro.platforms`): ``platform`` may be a registered name
+    (what ``'analytical:<name>'`` passes via ``arg``), a
+    :class:`repro.platforms.PlatformSpec`, its dict form, or an
+    already-built :class:`repro.platforms.Platform` — the path an
+    :class:`ExperimentSpec` with an embedded ``platform`` block takes.
     """
 
     name = "analytical"
 
     def __init__(self, arg: Optional[str] = None,
-                 platform: Optional[str] = None,
+                 platform: Optional[Union[str, Dict, PlatformSpec, Platform]] = None,
                  fitness_transform: Optional[Callable[[float], float]] = None) -> None:
-        if not (arg or platform):
+        if arg and platform is not None:
+            raise UnknownBackendError(
+                f"the analytical backend got both ':{arg}' and an "
+                "explicit platform; pass one"
+            )
+        platform = arg or platform
+        if platform is None:
             raise UnknownBackendError(
                 "the analytical backend needs a platform — use "
-                "'analytical:<platform>' with one of: "
-                f"{platform_names()}"
+                "'analytical:<platform>' (or embed a platform spec) "
+                f"with one of: {platform_names()}"
             )
-        self.platform_name = arg or platform
-        try:
-            self.platform = make_platform(self.platform_name)
-        except KeyError as exc:
-            raise UnknownBackendError(
-                f"unknown analytical platform {self.platform_name!r}; "
-                f"known: {platform_names()}"
-            ) from exc
+        if isinstance(platform, Platform):
+            self.platform = platform
+        else:
+            try:
+                self.platform = make_platform(platform)
+            except UnknownPlatformError as exc:
+                raise UnknownBackendError(
+                    f"unknown analytical platform {platform!r}; "
+                    f"known: {platform_names()}"
+                ) from exc
+            except PlatformSpecError as exc:
+                raise SpecError(f"invalid platform spec: {exc}") from exc
+        self.platform_name = self.platform.name
         self.fitness_transform = fitness_transform
         self.name = f"analytical:{self.platform_name}"
 
@@ -356,28 +389,47 @@ class AnalyticalBackend:
 
 
 def _parse_adam_shape(shape: Union[str, Sequence[int]]) -> Tuple[int, int]:
-    """``"32x32"`` (or a 2-sequence) -> ``(rows, cols)``."""
-    if isinstance(shape, str):
-        rows_text, sep, cols_text = shape.lower().partition("x")
-        try:
-            if not sep:
-                raise ValueError
-            rows, cols = int(rows_text), int(cols_text)
-        except ValueError:
+    """``"32x32"`` (or a 2-sequence) -> ``(rows, cols)``.
+
+    Thin wrapper over the shared :func:`repro.platforms.parse_adam_shape`
+    canonicaliser, re-raising as :class:`SpecError` for backend callers.
+    """
+    try:
+        return parse_adam_shape(shape)
+    except PlatformSpecError as exc:
+        raise SpecError(str(exc)) from None
+
+
+def _resolve_soc_platform(
+    platform: Optional[Union[str, Dict, PlatformSpec, SoCPlatform]],
+) -> Optional[SoCPlatform]:
+    """Coerce a platform option into a :class:`SoCPlatform` (or None)."""
+    if platform is None or isinstance(platform, SoCPlatform):
+        return platform
+    try:
+        if isinstance(platform, str):
+            resolved = make_platform(platform)
+            if not isinstance(resolved, SoCPlatform):
+                raise SpecError(
+                    f"the soc backend needs a 'soc'-kind platform, but "
+                    f"{platform!r} is {type(resolved).__name__}"
+                )
+            return resolved
+        spec = platform if isinstance(platform, PlatformSpec) else (
+            PlatformSpec.from_dict(platform)
+        )
+        if spec.kind != "soc":
             raise SpecError(
-                f"adam_shape must look like '32x32', got {shape!r}"
-            ) from None
-    else:
-        try:
-            rows, cols = (int(v) for v in shape)
-        except (TypeError, ValueError):
-            raise SpecError(
-                f"adam_shape must be 'RxC' or a (rows, cols) pair, "
-                f"got {shape!r}"
-            ) from None
-    if rows < 1 or cols < 1:
-        raise SpecError(f"adam_shape dimensions must be >= 1, got {shape!r}")
-    return rows, cols
+                f"the soc backend needs a 'soc'-kind platform spec, "
+                f"got kind {spec.kind!r}"
+            )
+        return SoCPlatform(spec)
+    except UnknownPlatformError as exc:
+        raise UnknownBackendError(
+            f"unknown platform {platform!r}; known: {platform_names()}"
+        ) from exc
+    except PlatformSpecError as exc:
+        raise SpecError(f"invalid platform spec: {exc}") from exc
 
 
 class SoCBackend:
@@ -389,18 +441,23 @@ class SoCBackend:
     (``dataclasses.replace``), including the nested EvE block whose PE
     registers the SoC reprograms.
 
-    The hardware design point is parameterisable through JSON-friendly
-    ``backend_options`` — the knobs :mod:`repro.dse` sweeps: ``eve_pes``
-    (EvE PE count), ``noc`` (``p2p``/``multicast``), ``scheduler``
-    (``greedy``/``round-robin``) and ``adam_shape`` (``"RxC"`` systolic
-    array).  They override the resolved config, whether it came from the
-    paper design point or a caller-provided ``soc_config``.
+    The hardware design point resolves through the platform registry: a
+    ``soc``-kind :class:`repro.platforms.PlatformSpec` — embedded on the
+    experiment spec (``spec.platform``), passed as the ``platform``
+    option (spec, dict, registered name or
+    :class:`repro.platforms.SoCPlatform`) — selects ``eve_pes``/``noc``/
+    ``scheduler``/``adam_shape``/``frequency_hz`` declaratively.  The
+    legacy JSON-friendly ``backend_options`` knobs (``eve_pes``, ``noc``,
+    ``scheduler``, ``adam_shape`` — the ``hw.*`` DSE axes) still apply
+    and override whatever the platform spec or a caller-provided
+    ``soc_config`` resolved.
     """
 
     name = "soc"
 
     def __init__(self, arg: Optional[str] = None,
                  soc_config: Optional[GeneSysConfig] = None,
+                 platform: Optional[Union[str, Dict, PlatformSpec, SoCPlatform]] = None,
                  eve_pes: Optional[int] = None,
                  noc: Optional[str] = None,
                  scheduler: Optional[str] = None,
@@ -410,12 +467,14 @@ class SoCBackend:
                 f"the soc backend takes no ':{arg}' parameter"
             )
         self.soc_config = soc_config
+        self.platform = _resolve_soc_platform(platform)
         if eve_pes is not None and (not isinstance(eve_pes, int) or eve_pes < 1):
             raise SpecError(f"eve_pes must be a positive int, got {eve_pes!r}")
-        if noc is not None and noc not in NOC_KINDS:
-            raise SpecError(
-                f"unknown noc {noc!r}; use one of {sorted(NOC_KINDS)}"
-            )
+        if noc is not None:
+            try:
+                noc = canonical_noc_kind(noc)
+            except ValueError as exc:
+                raise SpecError(str(exc)) from None
         if scheduler is not None and scheduler not in SCHEDULERS:
             raise SpecError(
                 f"unknown scheduler {scheduler!r}; use one of "
@@ -432,9 +491,18 @@ class SoCBackend:
         neat_config = config_for_env(
             spec.env_id, spec.pop_size, spec.fitness_threshold
         )
+        platform = self.platform
+        if platform is None and spec.platform is not None:
+            # spec validation guarantees a soc-kind platform here
+            platform = SoCPlatform(spec.platform)
         if self.soc_config is None:
-            config = GeneSysConfig.paper_design_point(neat=neat_config)
-            config.seed = spec.seed
+            if platform is not None:
+                config = platform.genesys_config(
+                    neat=neat_config, seed=spec.seed
+                )
+            else:
+                config = GeneSysConfig.paper_design_point(neat=neat_config)
+                config.seed = spec.seed
         else:
             config = dataclasses.replace(
                 self.soc_config,
@@ -442,6 +510,13 @@ class SoCBackend:
                 seed=spec.seed,
                 eve=dataclasses.replace(self.soc_config.eve),
             )
+            if platform is not None:
+                # the declarative design point wins for the blocks it
+                # parameterises; soc_config still supplies the rest
+                # (SRAM geometry, PE registers).
+                config = platform.genesys_config(
+                    neat=neat_config, seed=spec.seed, base=config
+                )
         eve_changes = {
             key: value
             for key, value in (

@@ -57,6 +57,16 @@ class Experiment:
             options["soc_config"] = soc_config
         if fitness_transform is not None:
             options["fitness_transform"] = fitness_transform
+        # An embedded platform spec reaches the built-in substrate
+        # factories as their 'platform' option; custom backends read
+        # spec.platform themselves in run().
+        base = spec.backend.partition(":")[0]
+        if (
+            spec.platform is not None
+            and base in ("analytical", "soc")
+            and "platform" not in options
+        ):
+            options["platform"] = spec.platform
         self.backend: Backend = make_backend(spec.backend, **options)
 
     def run(

@@ -18,6 +18,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
+from ..platforms.spec import (
+    PlatformSpec,
+    PlatformSpecError,
+    as_platform_spec,
+)
+
 
 class SpecError(ValueError):
     """Raised for invalid or inconsistent experiment specifications."""
@@ -56,6 +62,13 @@ class ExperimentSpec:
     #: (:mod:`repro.neat.compiled`).
     vectorizer: str = "scalar"
     backend_options: Dict[str, Any] = field(default_factory=dict)
+    #: Optional embedded :class:`repro.platforms.PlatformSpec` (or its
+    #: dict/JSON form) naming the substrate's hardware design point.
+    #: With ``backend="analytical"`` it selects the cost model; with
+    #: ``backend="soc"`` (a ``soc``-kind spec) it selects the
+    #: cycle-level design point.  Omitted from ``to_dict`` when unset,
+    #: so pre-platform specs and their DSE cache keys are unchanged.
+    platform: Optional[PlatformSpec] = None
 
     def __post_init__(self) -> None:
         if not self.env_id or not isinstance(self.env_id, str):
@@ -76,6 +89,30 @@ class ExperimentSpec:
             raise SpecError(
                 f"vectorizer must be 'scalar' or 'numpy', got {self.vectorizer!r}"
             )
+        if self.platform is not None:
+            try:
+                platform = as_platform_spec(self.platform)
+            except PlatformSpecError as exc:
+                raise SpecError(f"invalid platform spec: {exc}") from exc
+            object.__setattr__(self, "platform", platform)
+            base, _, arg = self.backend.partition(":")
+            if base == "software":
+                raise SpecError(
+                    "the software backend takes no platform; use "
+                    "backend='analytical' or 'soc' with an embedded "
+                    "platform spec"
+                )
+            if base == "analytical" and arg:
+                raise SpecError(
+                    f"backend {self.backend!r} already names a platform; "
+                    "use backend='analytical' with the embedded platform "
+                    "spec, or drop the embedded spec"
+                )
+            if base == "soc" and platform.kind != "soc":
+                raise SpecError(
+                    f"the soc backend needs a 'soc'-kind platform spec, "
+                    f"got kind {platform.kind!r}"
+                )
 
     # -- derivation -------------------------------------------------------
 
@@ -88,6 +125,12 @@ class ExperimentSpec:
     def to_dict(self) -> Dict[str, Any]:
         data = dataclasses.asdict(self)
         data["backend_options"] = dict(self.backend_options)
+        # Omitted (not null) when unset: pre-platform spec dicts — and
+        # therefore their DSE cache keys — are byte-identical.
+        if self.platform is None:
+            del data["platform"]
+        else:
+            data["platform"] = self.platform.to_dict()
         return data
 
     @classmethod

@@ -7,10 +7,13 @@ Commands
 ``run [ENV]``                 evolve ENV on any registered backend
 ``infer CHAMPION ENV``        roll out a saved champion
 ``characterise [ENV]``        Fig. 4/5-style workload characterisation
-``platforms [ENV]``           Fig. 9-style platform runtime/energy matrix
+``platforms``                 the platform registry (``--json`` for the
+                              machine-readable spec dump)
+``platforms ENV``             Fig. 9-style platform runtime/energy matrix
 ``design-space``              Fig. 8 power/area sweep of the SoC
 ``dse --sweep FILE``          declarative design-space sweep (repro.dse):
-                              cached, parallel, Pareto/groupby/export
+                              cached, parallel, Pareto/groupby/export;
+                              axes include ``platform.*`` fields
 
 ``run [ENV] --run-dir DIR``       persist run artifacts (repro.runs)
 ``run --resume DIR``              continue a run from its last checkpoint
@@ -55,6 +58,29 @@ _SPEC_DEFAULTS = {
 }
 
 
+def _resolve_platform_flag(value: str):
+    """``--platform`` FILE-or-name -> (PlatformSpec | None, backend | None).
+
+    A JSON file loads as a :class:`repro.platforms.PlatformSpec`; a
+    registered name resolves through the registry.  Spec-backed entries
+    embed on the experiment spec (the declarative path); factory-backed
+    custom registrations have no spec, so they run as the
+    ``analytical:<name>`` backend instead.
+    """
+    from pathlib import Path
+
+    from .platforms import PlatformSpec, PlatformSpecError, platform_spec
+
+    if Path(value).is_file():
+        pspec = PlatformSpec.load(value)
+    else:
+        try:
+            pspec = platform_spec(value)
+        except PlatformSpecError:
+            return None, f"analytical:{value}"  # factory-backed entry
+    return pspec, ("soc" if pspec.kind == "soc" else "analytical")
+
+
 def _spec_from_args(args: argparse.Namespace):
     """Build the experiment spec from CLI flags and/or a spec file."""
     from .api import ExperimentSpec
@@ -66,11 +92,26 @@ def _spec_from_args(args: argparse.Namespace):
                 f"error: --hardware conflicts with --backend {backend}"
             )
         backend = "soc"
+    platform = None
+    if getattr(args, "platform", None) is not None:
+        platform, platform_backend = _resolve_platform_flag(args.platform)
+        if backend is None:
+            backend = platform_backend
+        elif platform is None and backend != platform_backend:
+            # Factory-backed platforms run only as their analytical
+            # backend; a conflicting explicit --backend would silently
+            # drop the platform request, so reject it instead.
+            raise SystemExit(
+                f"error: --platform {args.platform} runs as "
+                f"--backend {platform_backend}; it conflicts with "
+                f"--backend {backend}"
+            )
     overrides = {
         key: value
         for key, value in {
             "env_id": args.env,
             "backend": backend,
+            "platform": platform,
             "max_generations": args.generations,
             "pop_size": args.population,
             "episodes": args.episodes,
@@ -118,7 +159,7 @@ def _cmd_backends(_args: argparse.Namespace) -> int:
 #: Spec-building ``run`` flags that conflict with ``--resume`` (the spec
 #: comes from the run directory; only the generation budget may change).
 _RESUME_CONFLICTS = (
-    "env", "spec", "backend", "population", "episodes", "seed",
+    "env", "spec", "backend", "platform", "population", "episodes", "seed",
     "max_steps", "workers", "vectorizer", "fitness_threshold",
 )
 
@@ -284,7 +325,55 @@ def _cmd_characterise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _params_summary(spec) -> str:
+    """One compact ``key=value`` line of a platform spec's parameters."""
+    import dataclasses
+
+    parts = []
+    for field in dataclasses.fields(type(spec.params)):
+        value = getattr(spec.params, field.name)
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{field.name}={value}")
+    return ", ".join(parts)
+
+
 def _cmd_platforms(args: argparse.Namespace) -> int:
+    from .platforms import registered_platforms
+
+    if args.json:
+        if args.env is not None or args.spec:
+            raise SystemExit(
+                "error: --json prints the platform registry; it does not "
+                "combine with an environment or --spec (drop one)"
+            )
+        import json
+
+        payload = {
+            name: (spec.to_dict() if spec is not None else None)
+            for name, spec in registered_platforms().items()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    if args.env is None and not args.spec:
+        rows = []
+        for name, spec in registered_platforms().items():
+            if spec is None:
+                rows.append([name, "custom", "(factory-backed cost model)"])
+            else:
+                rows.append([name, spec.kind, _params_summary(spec)])
+        print(render_table(
+            ["platform", "kind", "parameters"], rows,
+            title="Platform registry (repro.platforms; Table III + soc)",
+        ))
+        print(
+            "\nRun one with 'repro run ENV --platform NAME' or "
+            "'--backend analytical:NAME'; add your own with "
+            "repro.platforms.register_platform (see docs/platforms.md)."
+        )
+        return 0
+
     from .core import TraceRecorder
     from .platforms import all_platforms
 
@@ -489,6 +578,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="evolve an environment")
     add_workload_args(run)
+    run.add_argument("--platform", metavar="NAME|FILE",
+                     help="run on a registered platform (see "
+                          "'platforms') or a PlatformSpec JSON file; "
+                          "picks --backend analytical (or soc for a "
+                          "soc-kind spec) unless one is given")
     run.add_argument("--hardware", action="store_true",
                      help="shorthand for --backend soc (EvE/ADAM "
                           "hardware-in-the-loop path)")
@@ -526,8 +620,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(char)
     char.set_defaults(func=_cmd_characterise)
 
-    plat = sub.add_parser("platforms", help="platform comparison")
+    plat = sub.add_parser(
+        "platforms",
+        help="platform registry / comparison",
+        description="With no environment: list the platform registry "
+                    "(Table III legend names, the cycle-level soc design "
+                    "point, and custom registrations); --json emits the "
+                    "machine-readable PlatformSpec dump.  With an "
+                    "environment: the Fig. 9-style modelled "
+                    "runtime/energy matrix across every registered "
+                    "platform.",
+    )
     add_workload_args(plat)
+    plat.add_argument("--json", action="store_true",
+                      help="print the registry as JSON (platform name -> "
+                           "PlatformSpec dict; null for factory-backed "
+                           "custom entries)")
     plat.set_defaults(func=_cmd_platforms)
 
     sub.add_parser("design-space", help="PE sweep power/area table").set_defaults(
@@ -539,7 +647,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a declarative design-space sweep (repro.dse)",
         description="Expand a SweepSpec JSON file into experiment points, "
                     "run them through the backend registry with on-disk "
-                    "memoisation, and tabulate/export the results.",
+                    "memoisation, and tabulate/export the results.  Axes "
+                    "span experiment-spec fields and unified platform-"
+                    "spec fields (platform.eve_pes, platform.noc, "
+                    "platform.scheduler, platform.adam_shape, ...; the "
+                    "old hw.* spellings are deprecated aliases).",
     )
     dse.add_argument("--sweep", metavar="FILE", required=True,
                      help="SweepSpec JSON file (base spec + axes)")
@@ -598,6 +710,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     from .dse import ObjectiveError
     from .envs.registry import UnknownEnvironmentError
     from .neat.serialize import DeserializationError
+    from .platforms import PlatformSpecError, UnknownPlatformError
     from .runs import RunError
 
     try:
@@ -605,6 +718,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (
         SpecError, UnknownBackendError, UnknownEnvironmentError,
         ObjectiveError, RunError, DeserializationError,
+        PlatformSpecError, UnknownPlatformError,
     ) as exc:
         # KeyError subclasses repr-quote their message; unwrap it.
         message = exc.args[0] if exc.args else exc

@@ -6,9 +6,10 @@ sweeps, NoC ablations, cross-platform runtime/energy comparisons
 
 * :class:`SweepSpec` — a frozen, JSON-round-trippable sweep description:
   a base :class:`repro.api.ExperimentSpec` plus axes over any spec field
-  and over GeneSys hardware knobs (``hw.eve_pes``, ``hw.noc``,
-  ``hw.scheduler``, ``hw.adam_shape``), expanded by ``grid`` or seeded
-  ``random`` sampling.
+  and over unified platform-spec fields (``platform.eve_pes``,
+  ``platform.noc``, ``platform.scheduler``, ``platform.adam_shape``, …;
+  the pre-redesign ``hw.*`` spellings remain as deprecated aliases),
+  expanded by ``grid`` or seeded ``random`` sampling.
 * :class:`SweepRunner` / :func:`run_sweep` — executes points through the
   registered backends with process-pool parallelism across points
   (``jobs=N``) and content-hash memoisation on disk, so re-running an
@@ -28,7 +29,7 @@ Quickstart::
         base=ExperimentSpec("CartPole-v0", max_generations=10, pop_size=30),
         axes={
             "backend": ["soc", "analytical:GENESYS"],
-            "hw.eve_pes": [16, 64, 256],
+            "platform.eve_pes": [16, 64, 256],
             "seed": [0, 1],
         },
     )
@@ -56,7 +57,14 @@ from .runner import (
     evaluate_experiment_point,
     run_sweep,
 )
-from .spec import HW_AXES, SPEC_AXES, SweepPoint, SweepSpec, SweepSpecError
+from .spec import (
+    HW_AXES,
+    PLATFORM_AXES,
+    SPEC_AXES,
+    SweepPoint,
+    SweepSpec,
+    SweepSpecError,
+)
 
 __all__ = [
     "CACHE_FORMAT",
@@ -64,6 +72,7 @@ __all__ = [
     "EXPERIMENT_EVALUATOR",
     "HW_AXES",
     "METRIC_COLUMNS",
+    "PLATFORM_AXES",
     "ObjectiveError",
     "SPEC_AXES",
     "SweepCache",

@@ -9,10 +9,11 @@ hardware ablations (``examples/hw_design_space.py``,
 ``benchmarks/bench_fig11_design_space.py``) run through the same axis
 expansion and tabulation as full-experiment sweeps.
 
-The evaluator honours the hardware axes of :data:`repro.dse.HW_AXES`
-that affect the EvE reproduction pass (``hw.eve_pes``, ``hw.noc``,
-``hw.scheduler``); ``hw.adam_shape`` parameterises inference, which a
-reproduction replay does not execute.
+The evaluator honours the unified platform axes that affect the EvE
+reproduction pass (``platform.eve_pes``, ``platform.noc``,
+``platform.scheduler``), plus their deprecated ``hw.*`` aliases;
+``platform.adam_shape`` parameterises inference, which a reproduction
+replay does not execute.
 """
 
 from __future__ import annotations
@@ -45,13 +46,18 @@ def eve_replay_evaluator(
 
     def evaluate(point: SweepPoint) -> Dict[str, Any]:
         axes = point.axes
+
+        def axis(field: str) -> Any:
+            # unified spelling first, then the deprecated hw.* alias
+            return axes.get(f"platform.{field}", axes.get(f"hw.{field}"))
+
         eve_kwargs = {}
-        if "hw.eve_pes" in axes:
-            eve_kwargs["num_pes"] = axes["hw.eve_pes"]
-        if "hw.noc" in axes:
-            eve_kwargs["noc"] = axes["hw.noc"]
-        if "hw.scheduler" in axes:
-            eve_kwargs["scheduler"] = axes["hw.scheduler"]
+        if axis("eve_pes") is not None:
+            eve_kwargs["num_pes"] = axis("eve_pes")
+        if axis("noc") is not None:
+            eve_kwargs["noc"] = axis("noc")
+        if axis("scheduler") is not None:
+            eve_kwargs["scheduler"] = axis("scheduler")
         buffer = GenomeBuffer()
         for key, genome in population.items():
             buffer.write_genome(key, encode_genome(genome, config.genome))

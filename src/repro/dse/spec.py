@@ -4,17 +4,22 @@ A :class:`SweepSpec` is to a design-space study what
 :class:`repro.api.ExperimentSpec` is to a single run: a frozen,
 JSON-round-trippable description.  It names a *base* experiment spec and
 a set of *axes* — each axis a spec field (``env_id``, ``backend``,
-``pop_size``, ``seed``, …) or a hardware knob of the GeneSys SoC
-(``hw.eve_pes``, ``hw.noc``, ``hw.scheduler``, ``hw.adam_shape``) — with
-the list of values to explore.  ``expand()`` materialises the spec into
-concrete :class:`SweepPoint`\\ s either as the full cartesian ``grid`` or
-as a seeded ``random`` sample of it.
+``pop_size``, ``seed``, …) or a field of the unified
+:class:`repro.platforms.PlatformSpec` (``platform.eve_pes``,
+``platform.noc``, ``platform.scheduler``, ``platform.adam_shape``, …) —
+with the list of values to explore.  ``expand()`` materialises the spec
+into concrete :class:`SweepPoint`\\ s either as the full cartesian
+``grid`` or as a seeded ``random`` sample of it.
 
-Hardware axes parameterise the ``soc`` substrate: on points whose backend
-is ``soc`` they are folded into ``backend_options`` (where
-:class:`repro.api.SoCBackend` picks them up); on other backends they do
-not change the executed experiment, so equivalent points collapse to one
-evaluation under the content-hash cache (:mod:`repro.dse.cache`).
+Platform axes parameterise the hardware substrates: on ``soc``-backend
+points they update (or create) the embedded ``soc``-kind platform spec;
+on ``analytical:<name>`` points they derive a variant of the named
+registry platform; on other backends they do not change the executed
+experiment, so equivalent points collapse to one evaluation under the
+content-hash cache (:mod:`repro.dse.cache`).  The pre-redesign ``hw.*``
+axes remain as deprecated aliases with their original semantics
+(folding into ``soc`` ``backend_options``), so existing sweep files and
+their cache keys are untouched.
 """
 
 from __future__ import annotations
@@ -23,11 +28,18 @@ import dataclasses
 import itertools
 import json
 import random
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..api.spec import ExperimentSpec, SpecError
+from ..platforms import (
+    PLATFORM_KINDS,
+    PlatformSpec,
+    PlatformSpecError,
+    platform_spec,
+)
 
 
 class SweepSpecError(SpecError):
@@ -37,7 +49,10 @@ class SweepSpecError(SpecError):
 #: Sampling strategies ``expand()`` understands.
 STRATEGIES = ("grid", "random")
 
-#: Hardware axes -> the :class:`repro.api.SoCBackend` option they set.
+#: Deprecated hardware axes -> the :class:`repro.api.SoCBackend` option
+#: they set.  Kept as aliases of the ``platform.*`` axes so existing
+#: sweep files (and their cache keys) keep working; new sweeps should
+#: spell them ``platform.eve_pes``, ``platform.noc``, ….
 HW_AXES = {
     "hw.eve_pes": "eve_pes",
     "hw.noc": "noc",
@@ -45,13 +60,27 @@ HW_AXES = {
     "hw.adam_shape": "adam_shape",
 }
 
+#: Every sweepable field of the unified platform spec, as
+#: ``platform.<field>`` axis names — the union of all platform kinds'
+#: parameter fields (validated per point against the actual kind).
+PLATFORM_AXES = tuple(
+    sorted(
+        {
+            f"platform.{params_field.name}"
+            for params_cls in PLATFORM_KINDS.values()
+            for params_field in dataclasses.fields(params_cls)
+        }
+    )
+)
+
 #: Experiment-spec fields an axis may sweep (``backend_options`` is
-#: reserved for the hardware-axis folding).
+#: reserved for the hardware-axis folding, ``platform`` for the
+#: ``platform.*`` axes).
 SPEC_AXES = tuple(
     sorted(
         f.name
         for f in dataclasses.fields(ExperimentSpec)
-        if f.name != "backend_options"
+        if f.name not in ("backend_options", "platform")
     )
 )
 
@@ -86,11 +115,13 @@ class SweepSpec:
     """A design-space study, JSON-serialisable.
 
     ``axes`` maps axis names to candidate-value lists.  An axis name is
-    either an :class:`repro.api.ExperimentSpec` field (:data:`SPEC_AXES`
-    — ``seed``, ``backend``, ``pop_size``, …) or a GeneSys hardware knob
-    (:data:`HW_AXES` — ``hw.eve_pes``, ``hw.noc``, ``hw.scheduler``,
-    ``hw.adam_shape``), which folds into the ``soc`` backend's options
-    and leaves other backends unchanged.  ``strategy`` is ``grid`` (full
+    an :class:`repro.api.ExperimentSpec` field (:data:`SPEC_AXES` —
+    ``seed``, ``backend``, ``pop_size``, …), a unified platform-spec
+    field (:data:`PLATFORM_AXES` — ``platform.eve_pes``,
+    ``platform.noc``, ``platform.scheduler``, ``platform.adam_shape``,
+    …), which parameterises the ``soc``/``analytical`` substrates and
+    leaves other backends unchanged, or a deprecated ``hw.*`` alias
+    (:data:`HW_AXES`).  ``strategy`` is ``grid`` (full
     cartesian product, the default) or ``random`` (``samples`` draws
     from the grid using ``sample_seed`` — duplicates collapse, so the
     expansion may be shorter than ``samples``).
@@ -118,10 +149,20 @@ class SweepSpec:
         if not self.axes:
             raise SweepSpecError("a sweep needs at least one axis")
         for name, values in self.axes.items():
-            if name not in SPEC_AXES and name not in HW_AXES:
+            if name in HW_AXES:
+                warnings.warn(
+                    f"sweep axis {name!r} is deprecated; use "
+                    f"'platform.{HW_AXES[name]}' (the unified "
+                    "PlatformSpec field)",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+            elif name not in SPEC_AXES and name not in PLATFORM_AXES:
                 raise SweepSpecError(
                     f"unknown sweep axis {name!r}; spec axes: "
-                    f"{list(SPEC_AXES)}; hardware axes: {sorted(HW_AXES)}"
+                    f"{list(SPEC_AXES)}; platform axes: "
+                    f"{list(PLATFORM_AXES)} (deprecated aliases: "
+                    f"{sorted(HW_AXES)})"
                 )
             if not isinstance(values, (list, tuple)) or not values:
                 raise SweepSpecError(
@@ -181,7 +222,65 @@ class SweepSpec:
             spec = spec.replace(
                 backend_options={**spec.backend_options, **hw}
             )
+        platform_fields = {
+            k.split(".", 1)[1]: v
+            for k, v in values.items()
+            if k in PLATFORM_AXES
+        }
+        if platform_fields:
+            spec = self._apply_platform_fields(spec, platform_fields, values)
         return SweepPoint(index=index, axes=dict(values), spec=spec)
+
+    @staticmethod
+    def _apply_platform_fields(
+        spec: ExperimentSpec,
+        fields: Mapping[str, Any],
+        values: Mapping[str, Any],
+    ) -> ExperimentSpec:
+        """Fold ``platform.*`` axis values into the point's spec.
+
+        The embedded platform spec is updated when present; a ``soc``
+        point without one gets the paper design point plus the swept
+        fields; an ``analytical:<name>`` point derives a variant of the
+        named registry platform.  Only the fields of the point's
+        platform *kind* apply — a ``platform.eve_pes`` axis shapes the
+        ``soc`` points of a mixed-backend sweep and leaves an
+        ``analytical:CPU_a`` point's spec untouched, so (exactly like
+        the legacy ``hw.*`` folding) the unaffected points collapse to
+        one evaluation in the cache.  Backends without a platform
+        notion (``software``, custom) are never touched.
+        """
+        base_name, _, arg = spec.backend.partition(":")
+        try:
+            target: Optional[PlatformSpec] = spec.platform
+            new_backend = spec.backend
+            if target is None:
+                if base_name == "soc":
+                    target = PlatformSpec("soc")
+                elif base_name == "analytical" and arg:
+                    try:
+                        target = platform_spec(arg)
+                    except PlatformSpecError:
+                        return spec  # factory-backed: no declarative params
+                    new_backend = "analytical"
+            if target is None:
+                return spec
+            valid = {
+                f.name
+                for f in dataclasses.fields(PLATFORM_KINDS[target.kind])
+            }
+            applicable = {k: v for k, v in fields.items() if k in valid}
+            if not applicable:
+                return spec
+            return spec.replace(
+                backend=new_backend,
+                platform=target.replace_params(**applicable),
+            )
+        except (PlatformSpecError, KeyError, SpecError) as exc:
+            message = exc.args[0] if exc.args else exc
+            raise SweepSpecError(
+                f"point {dict(values)}: {message}"
+            ) from exc
 
     def expand(self) -> List[SweepPoint]:
         """Materialise the sweep into concrete points."""

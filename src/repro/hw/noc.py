@@ -92,11 +92,52 @@ class MulticastTreeNoC(BaseNoC):
         return reads
 
 
-def make_noc(kind: str) -> BaseNoC:
-    """Factory: ``"p2p"`` / ``"multicast"`` (fuzzy on common spellings)."""
+#: Canonical NoC kinds every layer agrees on — the SoC design point
+#: (:class:`repro.hw.eve.EvEConfig`), the ``soc`` backend's options, the
+#: DSE axes and :class:`repro.platforms.PlatformSpec` validation.
+NOC_KINDS = ("p2p", "multicast")
+
+#: Accepted spellings -> canonical kind.  The table is the single place
+#: spellings are recognised; anything else is rejected with the full
+#: list rather than fuzzily matched.
+_NOC_SPELLINGS = {
+    "p2p": "p2p",
+    "pointtopoint": "p2p",
+    "bus": "p2p",
+    "multicast": "multicast",
+    "multicasttree": "multicast",
+    "tree": "multicast",
+}
+
+
+def canonical_noc_kind(kind: str) -> str:
+    """Normalise a NoC-kind spelling to ``"p2p"`` or ``"multicast"``.
+
+    Case, ``-``/``_``/space separators and the long-form names
+    (``point-to-point``, ``multicast-tree``, ``bus``, ``tree``) are
+    accepted; any other spelling raises :class:`ValueError` naming the
+    canonical kinds.  Every layer that takes a NoC kind — ``make_noc``,
+    the ``soc`` backend, sweep axes, platform specs — validates through
+    this one function.
+    """
+    if not isinstance(kind, str):
+        raise ValueError(
+            f"NoC kind must be a string, got {kind!r}; "
+            f"canonical kinds: {list(NOC_KINDS)}"
+        )
     key = kind.lower().replace("-", "").replace("_", "").replace(" ", "")
-    if key in ("p2p", "pointtopoint", "bus"):
+    try:
+        return _NOC_SPELLINGS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown NoC kind {kind!r}; canonical kinds: {list(NOC_KINDS)} "
+            f"(accepted spellings: {sorted(_NOC_SPELLINGS)})"
+        ) from None
+
+
+def make_noc(kind: str) -> BaseNoC:
+    """Factory keyed by :func:`canonical_noc_kind` (``p2p``/``multicast``)."""
+    canonical = canonical_noc_kind(kind)
+    if canonical == "p2p":
         return PointToPointNoC()
-    if key in ("multicast", "multicasttree", "tree"):
-        return MulticastTreeNoC()
-    raise ValueError(f"unknown NoC kind {kind!r}; use 'p2p' or 'multicast'")
+    return MulticastTreeNoC()

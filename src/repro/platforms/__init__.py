@@ -1,4 +1,24 @@
-"""Platform models for the Fig. 9/10 evaluation (Table III)."""
+"""Platform models behind one declarative API (Table III + the SoC).
+
+Two pieces compose here:
+
+* :class:`PlatformSpec` (:mod:`repro.platforms.spec`) — a frozen,
+  JSON-round-trippable description of one platform: a ``kind`` (``cpu``,
+  ``gpu``, ``genesys`` analytical models; ``soc`` the cycle-level
+  EvE/ADAM design point) plus a typed parameter block, content-hashable
+  for the DSE cache.
+* the open registry (:mod:`repro.platforms.registry`) — every Table III
+  legend name and the ``soc`` design point as entries;
+  :func:`register_platform` adds custom platforms (specs or factories)
+  that immediately become ``analytical:<name>`` backends and CLI rows
+  without touching backend or sweep code.
+
+``make_platform`` accepts a registered name, a :class:`PlatformSpec`,
+or a raw spec dict; unknown names raise :class:`UnknownPlatformError`
+(a ``KeyError`` subclass) listing what is registered.  The legacy
+factory helpers (``cpu_a`` … ``gpu_d``, ``genesys``) remain for direct
+model construction.
+"""
 
 from typing import Dict, List
 
@@ -17,56 +37,57 @@ from .cpu import (
 from .genesys import ONCHIP_TRANSFER_FRACTION, GenesysPlatform, genesys
 from .gpu import GPUParams, GPUPlatform, GTX1080_PARAMS, TEGRA_PARAMS, gpu_a, gpu_b, gpu_c, gpu_d
 from .memory_model import footprint_comparison, footprint_ratios
-
-_FACTORIES = {
-    "CPU_a": cpu_a,
-    "CPU_b": cpu_b,
-    "CPU_c": cpu_c,
-    "CPU_d": cpu_d,
-    "GPU_a": gpu_a,
-    "GPU_b": gpu_b,
-    "GPU_c": gpu_c,
-    "GPU_d": gpu_d,
-    "GENESYS": genesys,
-}
-
-
-def make_platform(name: str) -> Platform:
-    """Instantiate a Table III platform by its legend name."""
-    if name not in _FACTORIES:
-        raise KeyError(f"unknown platform {name!r}; known: {sorted(_FACTORIES)}")
-    return _FACTORIES[name]()
-
-
-def platform_names() -> List[str]:
-    """Legend names of every registered Table III platform."""
-    return sorted(_FACTORIES)
-
-
-def all_platforms() -> List[Platform]:
-    return [factory() for factory in _FACTORIES.values()]
-
-
-def table3() -> List[Dict[str, str]]:
-    """Rows of Table III (target system configurations)."""
-    return [platform.table3_row() for platform in all_platforms()]
-
+from .registry import (
+    all_platforms,
+    build_platform,
+    make_platform,
+    platform_names,
+    platform_spec,
+    register_platform,
+    registered_platforms,
+    table3,
+    unregister_platform,
+)
+from .soc_platform import SoCPlatform
+from .spec import (
+    PLATFORM_KINDS,
+    CPUPlatformParams,
+    GenesysPlatformParams,
+    GPUPlatformParams,
+    PlatformSpec,
+    PlatformSpecError,
+    SoCPlatformParams,
+    UnknownPlatformError,
+    as_platform_spec,
+    parse_adam_shape,
+)
 
 __all__ = [
     "A57_PARAMS",
     "CPUParams",
     "CPUPlatform",
+    "CPUPlatformParams",
     "GPUParams",
     "GPUPlatform",
+    "GPUPlatformParams",
     "GTX1080_PARAMS",
     "GenesysPlatform",
+    "GenesysPlatformParams",
     "I7_PARAMS",
     "ONCHIP_TRANSFER_FRACTION",
+    "PLATFORM_KINDS",
     "PLP_INFERENCE_SPEEDUP",
     "PhaseCost",
     "Platform",
+    "PlatformSpec",
+    "PlatformSpecError",
+    "SoCPlatform",
+    "SoCPlatformParams",
     "TEGRA_PARAMS",
+    "UnknownPlatformError",
     "all_platforms",
+    "as_platform_spec",
+    "build_platform",
     "cpu_a",
     "cpu_b",
     "cpu_c",
@@ -79,6 +100,11 @@ __all__ = [
     "gpu_c",
     "gpu_d",
     "make_platform",
+    "parse_adam_shape",
     "platform_names",
+    "platform_spec",
+    "register_platform",
+    "registered_platforms",
     "table3",
+    "unregister_platform",
 ]

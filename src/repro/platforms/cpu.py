@@ -21,6 +21,11 @@ from ..neat.statistics import GENE_BYTES
 from .base import PhaseCost, Platform
 
 
+#: Paper: "Parallel inference on CPU is 3.5 times faster than the serial
+#: counterpart" (4 threads).
+PLP_INFERENCE_SPEEDUP = 3.5
+
+
 @dataclass
 class CPUParams:
     """Calibration constants for one CPU."""
@@ -29,7 +34,9 @@ class CPUParams:
     mac_time_s: float           # one MAC inside a network eval
     step_overhead_s: float      # per env-step interpreter/dispatch cost
     power_w: float              # package power while busy
-    inference_speedup: float = 1.0  # PLP multithreading gain (CPU_b/d)
+    #: PLP multithreading gain, applied only when the platform runs
+    #: parallel inference (CPU_b/d).
+    inference_speedup: float = PLP_INFERENCE_SPEEDUP
 
 
 #: 6th-gen Intel i7 (desktop), ~4 GHz, measured-package-power class.
@@ -47,10 +54,6 @@ A57_PARAMS = CPUParams(
     step_overhead_s=55e-6,
     power_w=5.0,
 )
-
-#: Paper: "Parallel inference on CPU is 3.5 times faster than the serial
-#: counterpart" (4 threads).
-PLP_INFERENCE_SPEEDUP = 3.5
 
 
 class CPUPlatform(Platform):
@@ -71,7 +74,7 @@ class CPUPlatform(Platform):
             workload.env_steps * params.step_overhead_s
             + workload.inference_macs * params.mac_time_s
         )
-        speedup = PLP_INFERENCE_SPEEDUP if self.parallel_inference else 1.0
+        speedup = params.inference_speedup if self.parallel_inference else 1.0
         runtime = serial / speedup
         return PhaseCost(runtime_s=runtime, energy_j=runtime * params.power_w)
 

@@ -1,0 +1,288 @@
+"""The open, string-keyed platform registry.
+
+Mirrors :mod:`repro.api.backends`' backend registry and
+:mod:`repro.envs.registry`: every platform — the nine Table III legend
+names *and* the cycle-level ``soc`` design point — is one entry, and
+user code adds its own with :func:`register_platform` without touching
+backend or sweep code.  An entry is either a declarative
+:class:`repro.platforms.PlatformSpec` (built through its kind's model
+family) or, for fully custom cost models, a zero-argument factory
+returning a :class:`repro.platforms.Platform`.
+
+:func:`make_platform` accepts a registered name, a spec, or a raw dict
+(the JSON form); unknown names raise :class:`UnknownPlatformError`
+listing what is registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Union
+
+from .base import Platform
+from .cpu import A57_PARAMS, CPUParams, CPUPlatform, I7_PARAMS
+from .genesys import GenesysPlatform
+from .gpu import GPUParams, GPUPlatform, GTX1080_PARAMS, TEGRA_PARAMS
+from .soc_platform import SoCPlatform
+from .spec import (
+    PLATFORM_KINDS,
+    PlatformSpec,
+    PlatformSpecError,
+    UnknownPlatformError,
+    as_platform_spec,
+)
+
+PlatformFactory = Callable[[], Platform]
+
+
+# ---------------------------------------------------------------------------
+# kind -> Platform builders
+
+
+def _build_cpu(spec: PlatformSpec) -> Platform:
+    p = spec.params
+    return CPUPlatform(
+        spec.name,
+        CPUParams(
+            evolution_op_time_s=p.evolution_op_time_s,
+            mac_time_s=p.mac_time_s,
+            step_overhead_s=p.step_overhead_s,
+            power_w=p.power_w,
+            inference_speedup=p.inference_speedup,
+        ),
+        p.parallel_inference,
+        p.desc,
+    )
+
+
+def _build_gpu(spec: PlatformSpec) -> Platform:
+    p = spec.params
+    return GPUPlatform(
+        spec.name,
+        GPUParams(
+            launch_overhead_s=p.launch_overhead_s,
+            transfer_overhead_s=p.transfer_overhead_s,
+            bandwidth_bytes_per_s=p.bandwidth_bytes_per_s,
+            compact_mac_rate=p.compact_mac_rate,
+            sparse_mac_rate=p.sparse_mac_rate,
+            evolution_op_time_s=p.evolution_op_time_s,
+            power_w=p.power_w,
+        ),
+        p.batch_population,
+        p.desc,
+    )
+
+
+def _build_genesys(spec: PlatformSpec) -> Platform:
+    p = spec.params
+    platform = GenesysPlatform(
+        num_eve_pes=p.num_eve_pes,
+        adam_rows=p.adam_rows,
+        adam_cols=p.adam_cols,
+        frequency_hz=p.frequency_hz,
+    )
+    platform.name = spec.name
+    return platform
+
+
+def _build_soc(spec: PlatformSpec) -> Platform:
+    return SoCPlatform(spec)
+
+
+_BUILDERS: Dict[str, Callable[[PlatformSpec], Platform]] = {
+    "cpu": _build_cpu,
+    "gpu": _build_gpu,
+    "genesys": _build_genesys,
+    "soc": _build_soc,
+}
+
+
+def build_platform(
+    spec: Union[PlatformSpec, Mapping[str, object]],
+) -> Platform:
+    """Instantiate the platform a spec (or its dict form) describes."""
+    spec = as_platform_spec(spec)
+    return _BUILDERS[spec.kind](spec)
+
+
+# ---------------------------------------------------------------------------
+# the registry
+
+
+@dataclass(frozen=True)
+class _Entry:
+    spec: Optional[PlatformSpec]
+    factory: Optional[PlatformFactory]
+    table3: bool  # one of the paper's Table III legend rows?
+
+
+_REGISTRY: Dict[str, _Entry] = {}
+
+
+def register_platform(
+    name: str,
+    spec_or_factory: Union[PlatformSpec, Mapping[str, object], PlatformFactory],
+    *,
+    table3: bool = False,
+) -> None:
+    """Register (or override) a platform under a legend name.
+
+    ``spec_or_factory`` is a :class:`PlatformSpec` (or its dict form) —
+    the declarative path — or a zero-argument callable returning a
+    :class:`Platform` for custom cost models.  Re-registering a name
+    replaces the entry (latest wins), which is how tests and notebooks
+    shadow a built-in with a variant.
+    """
+    if not name or not isinstance(name, str):
+        raise PlatformSpecError(
+            f"platform name must be a non-empty string, got {name!r}"
+        )
+    if callable(spec_or_factory) and not isinstance(
+        spec_or_factory, (PlatformSpec, Mapping)
+    ):
+        _REGISTRY[name] = _Entry(spec=None, factory=spec_or_factory,
+                                 table3=table3)
+        return
+    spec = as_platform_spec(spec_or_factory)
+    if spec.name != name:
+        spec = spec.replace(name=name)
+    _REGISTRY[name] = _Entry(spec=spec, factory=None, table3=table3)
+
+
+def unregister_platform(name: str) -> None:
+    """Remove a registry entry (unknown names raise)."""
+    if name not in _REGISTRY:
+        raise UnknownPlatformError(
+            f"unknown platform {name!r}; registered: {platform_names()}"
+        )
+    del _REGISTRY[name]
+
+
+def make_platform(
+    spec_or_name: Union[str, PlatformSpec, Mapping[str, object]],
+) -> Platform:
+    """Instantiate a platform from a registered name, a spec, or a dict.
+
+    Unknown names raise :class:`UnknownPlatformError` listing every
+    registered name (a ``KeyError`` subclass, so pre-registry callers
+    that caught ``KeyError`` keep working).
+    """
+    if isinstance(spec_or_name, str):
+        entry = _REGISTRY.get(spec_or_name)
+        if entry is None:
+            raise UnknownPlatformError(
+                f"unknown platform {spec_or_name!r}; "
+                f"registered: {platform_names()}"
+            )
+        if entry.factory is not None:
+            return entry.factory()
+        return build_platform(entry.spec)
+    return build_platform(spec_or_name)
+
+
+def platform_names() -> List[str]:
+    """Every registered platform name, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_platforms() -> List[Platform]:
+    """One instantiated platform per registry entry (name-sorted)."""
+    return [make_platform(name) for name in platform_names()]
+
+
+def platform_spec(name: str) -> PlatformSpec:
+    """The declarative spec behind a registered name.
+
+    Factory-backed (custom cost model) entries have no spec and raise
+    :class:`PlatformSpecError`.
+    """
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise UnknownPlatformError(
+            f"unknown platform {name!r}; registered: {platform_names()}"
+        )
+    if entry.spec is None:
+        raise PlatformSpecError(
+            f"platform {name!r} is factory-backed and has no declarative "
+            "spec"
+        )
+    return entry.spec
+
+
+def registered_platforms() -> Dict[str, Optional[PlatformSpec]]:
+    """``name -> spec`` for every entry (``None`` for factory-backed)."""
+    return {name: _REGISTRY[name].spec for name in platform_names()}
+
+
+def table3() -> List[Dict[str, str]]:
+    """Rows of Table III (target system configurations), paper order."""
+    return [
+        make_platform(name).table3_row()
+        for name, entry in _REGISTRY.items()
+        if entry.table3
+    ]
+
+
+# ---------------------------------------------------------------------------
+# built-in entries: the nine Table III rows + the cycle-level SoC
+
+_CPU_COMMON_I7 = dict(
+    evolution_op_time_s=I7_PARAMS.evolution_op_time_s,
+    mac_time_s=I7_PARAMS.mac_time_s,
+    step_overhead_s=I7_PARAMS.step_overhead_s,
+    power_w=I7_PARAMS.power_w,
+    desc="6th gen i7",
+)
+_CPU_COMMON_A57 = dict(
+    evolution_op_time_s=A57_PARAMS.evolution_op_time_s,
+    mac_time_s=A57_PARAMS.mac_time_s,
+    step_overhead_s=A57_PARAMS.step_overhead_s,
+    power_w=A57_PARAMS.power_w,
+    desc="ARM Cortex A57",
+)
+_GPU_COMMON_GTX = dict(
+    launch_overhead_s=GTX1080_PARAMS.launch_overhead_s,
+    transfer_overhead_s=GTX1080_PARAMS.transfer_overhead_s,
+    bandwidth_bytes_per_s=GTX1080_PARAMS.bandwidth_bytes_per_s,
+    compact_mac_rate=GTX1080_PARAMS.compact_mac_rate,
+    sparse_mac_rate=GTX1080_PARAMS.sparse_mac_rate,
+    evolution_op_time_s=GTX1080_PARAMS.evolution_op_time_s,
+    power_w=GTX1080_PARAMS.power_w,
+    desc="Nvidia GTX 1080",
+)
+_GPU_COMMON_TEGRA = dict(
+    launch_overhead_s=TEGRA_PARAMS.launch_overhead_s,
+    transfer_overhead_s=TEGRA_PARAMS.transfer_overhead_s,
+    bandwidth_bytes_per_s=TEGRA_PARAMS.bandwidth_bytes_per_s,
+    compact_mac_rate=TEGRA_PARAMS.compact_mac_rate,
+    sparse_mac_rate=TEGRA_PARAMS.sparse_mac_rate,
+    evolution_op_time_s=TEGRA_PARAMS.evolution_op_time_s,
+    power_w=TEGRA_PARAMS.power_w,
+    desc="Nvidia Tegra",
+)
+
+_BUILTIN_SPECS = [
+    PlatformSpec("cpu", "CPU_a", {**_CPU_COMMON_I7,
+                                  "parallel_inference": False}),
+    PlatformSpec("cpu", "CPU_b", {**_CPU_COMMON_I7,
+                                  "parallel_inference": True}),
+    PlatformSpec("cpu", "CPU_c", {**_CPU_COMMON_A57,
+                                  "parallel_inference": False}),
+    PlatformSpec("cpu", "CPU_d", {**_CPU_COMMON_A57,
+                                  "parallel_inference": True}),
+    PlatformSpec("gpu", "GPU_a", {**_GPU_COMMON_GTX,
+                                  "batch_population": False}),
+    PlatformSpec("gpu", "GPU_b", {**_GPU_COMMON_GTX,
+                                  "batch_population": True}),
+    PlatformSpec("gpu", "GPU_c", {**_GPU_COMMON_TEGRA,
+                                  "batch_population": False}),
+    PlatformSpec("gpu", "GPU_d", {**_GPU_COMMON_TEGRA,
+                                  "batch_population": True}),
+    PlatformSpec("genesys", "GENESYS"),
+]
+
+for _spec in _BUILTIN_SPECS:
+    register_platform(_spec.name, _spec, table3=True)
+register_platform("soc", PlatformSpec("soc"))
+
+assert set(PLATFORM_KINDS) == set(_BUILDERS), "kind/builder tables diverged"

@@ -1,0 +1,110 @@
+"""The cycle-level GeneSys SoC as a first-class platform.
+
+:class:`SoCPlatform` wraps the EvE/ADAM chip models behind the same
+:class:`repro.platforms.Platform` interface the analytical Table III
+rows implement, so the SoC is one more registry entry instead of a
+special backend:
+
+* :meth:`SoCPlatform.genesys_config` resolves the spec's design point
+  (``eve_pes``, ``noc``, ``scheduler``, ``adam_shape``) into the
+  :class:`repro.core.GeneSysConfig` the cycle-level
+  :class:`repro.core.GeneSysSoC` simulation runs — this is the path the
+  ``soc`` backend takes.
+* The :class:`Platform` cost methods answer from the *analytical*
+  GENESYS model shaped to the same design point, so the SoC can sit in
+  a Fig. 9-style cost matrix next to the CPU/GPU rows.  Cycle-accurate
+  numbers come from actually running ``backend="soc"``; the analytical
+  projection here is the workload-aggregate estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import GeneSysConfig
+from ..core.trace import GenerationWorkload
+from .base import PhaseCost, Platform
+from .genesys import GenesysPlatform
+from .spec import PlatformSpec, SoCPlatformParams
+
+
+class SoCPlatform(Platform):
+    """One registry entry wrapping the cycle-level EvE/ADAM SoC."""
+
+    inference_strategy = "PLP"
+    evolution_strategy = "PLP + GLP"
+    platform_desc = "GeneSys SoC (cycle-level)"
+
+    def __init__(self, spec: Optional[PlatformSpec] = None) -> None:
+        if spec is None:
+            spec = PlatformSpec(kind="soc")
+        if spec.kind != "soc":
+            raise ValueError(
+                f"SoCPlatform needs a 'soc'-kind spec, got {spec.kind!r}"
+            )
+        self.spec = spec
+        self.name = spec.name or "soc"
+
+    @property
+    def params(self) -> SoCPlatformParams:
+        return self.spec.params
+
+    # -- the cycle-level design point -------------------------------------
+
+    def genesys_config(
+        self,
+        neat=None,
+        seed: int = 0,
+        base: Optional[GeneSysConfig] = None,
+    ) -> GeneSysConfig:
+        """The :class:`repro.core.GeneSysConfig` this spec describes.
+
+        ``base`` (default: the paper design point) supplies everything
+        the spec does not parameterise — SRAM geometry, PE registers —
+        and is never mutated; the spec's design-point knobs and the
+        caller's NEAT sizing/seed are applied to a copy.
+        """
+        import dataclasses
+
+        params = self.params
+        if base is None:
+            base = GeneSysConfig.paper_design_point()
+        config = dataclasses.replace(
+            base,
+            eve=dataclasses.replace(
+                base.eve,
+                num_pes=params.eve_pes,
+                noc=params.noc,
+                scheduler=params.scheduler,
+            ),
+            adam=dataclasses.replace(
+                base.adam,
+                rows=params.adam_rows,
+                cols=params.adam_cols,
+            ),
+            frequency_hz=params.frequency_hz,
+            seed=seed,
+        )
+        if neat is not None:
+            config.neat = neat
+        return config
+
+    # -- analytical projection (Platform interface) -----------------------
+
+    def _analytical(self) -> GenesysPlatform:
+        params = self.params
+        return GenesysPlatform(
+            num_eve_pes=params.eve_pes,
+            adam_rows=params.adam_rows,
+            adam_cols=params.adam_cols,
+            frequency_hz=params.frequency_hz,
+        )
+
+    def inference_cost(self, workload: GenerationWorkload) -> PhaseCost:
+        return self._analytical().inference_cost(workload)
+
+    def evolution_cost(self, workload: GenerationWorkload) -> PhaseCost:
+        return self._analytical().evolution_cost(workload)
+
+    def memory_footprint_bytes(self, workload: GenerationWorkload) -> int:
+        return self._analytical().memory_footprint_bytes(workload)

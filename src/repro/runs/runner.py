@@ -102,10 +102,21 @@ def _resolve_resume_spec(
     if spec is None:
         return stored
     if spec.replace(max_generations=stored.max_generations) != stored:
+        detail = ""
+        if spec.platform != stored.platform:
+            # The platform block is part of the run's identity: a
+            # different design point would re-cost (analytical) or
+            # re-simulate (soc) the recorded generations differently.
+            detail = (
+                f" (stored platform: "
+                f"{stored.platform.to_dict() if stored.platform else None}, "
+                f"requested: "
+                f"{spec.platform.to_dict() if spec.platform else None})"
+            )
         raise RunError(
             f"resume spec differs from the one stored in {run_dir.path} "
             "in more than max_generations; resuming under a different "
-            "spec would diverge from the recorded run"
+            f"spec would diverge from the recorded run{detail}"
         )
     if spec != stored:
         run_dir.write_spec(spec)

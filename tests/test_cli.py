@@ -56,6 +56,106 @@ def test_platforms(capsys):
     assert "CPU_a" in out
 
 
+def test_platforms_registry_listing(capsys):
+    """With no environment, 'platforms' prints the registry."""
+    assert main(["platforms"]) == 0
+    out = capsys.readouterr().out
+    assert "Platform registry" in out
+    assert "GENESYS" in out and "soc" in out
+    assert "register_platform" in out
+
+
+def test_platforms_registry_listing_includes_custom(capsys):
+    from repro.platforms import (
+        PlatformSpec, register_platform, unregister_platform,
+    )
+
+    register_platform("MY_GPU", PlatformSpec(
+        "genesys", params={"num_eve_pes": 8}))
+    try:
+        assert main(["platforms"]) == 0
+        assert "MY_GPU" in capsys.readouterr().out
+    finally:
+        unregister_platform("MY_GPU")
+
+
+def test_platforms_json_dump_validates(capsys):
+    import json
+
+    from repro.platforms import PlatformSpec, platform_names
+
+    assert main(["platforms", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert sorted(payload) == platform_names()
+    for name, spec_dict in payload.items():
+        spec = PlatformSpec.from_dict(spec_dict)
+        assert spec.name == name
+        assert spec.to_dict() == spec_dict
+
+
+def test_run_with_platform_flag(capsys):
+    code = main([
+        "run", "CartPole-v0", "--platform", "GENESYS",
+        "--generations", "2", "--population", "10", "--max-steps", "30",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "[analytical:GENESYS] CartPole-v0" in out
+
+
+def test_run_with_soc_platform_flag(capsys):
+    code = main([
+        "run", "CartPole-v0", "--platform", "soc",
+        "--generations", "2", "--population", "10", "--max-steps", "30",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "[hardware] CartPole-v0" in out  # soc-kind picks the soc backend
+
+
+def test_run_with_platform_spec_file(tmp_path, capsys):
+    from repro.platforms import PlatformSpec
+
+    path = tmp_path / "quarter.json"
+    PlatformSpec("genesys", "QUARTER", {"num_eve_pes": 64}).save(path)
+    code = main([
+        "run", "CartPole-v0", "--platform", str(path),
+        "--generations", "2", "--population", "10", "--max-steps", "30",
+    ])
+    assert code == 0
+    assert "[analytical:QUARTER]" in capsys.readouterr().out
+
+
+def test_platforms_json_rejects_env(capsys):
+    with pytest.raises(SystemExit, match="--json"):
+        main(["platforms", "CartPole-v0", "--json"])
+
+
+def test_run_factory_platform_conflicting_backend_errors():
+    from repro.platforms import (
+        GenesysPlatform, register_platform, unregister_platform,
+    )
+
+    register_platform("FACTORY_ONLY", lambda: GenesysPlatform(num_eve_pes=2))
+    try:
+        with pytest.raises(SystemExit, match="conflicts with"):
+            main([
+                "run", "CartPole-v0", "--backend", "soc",
+                "--platform", "FACTORY_ONLY", "--generations", "2",
+            ])
+    finally:
+        unregister_platform("FACTORY_ONLY")
+
+
+def test_run_unknown_platform_errors(capsys):
+    code = main([
+        "run", "CartPole-v0", "--platform", "TPU", "--generations", "2",
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown" in err and "TPU" in err
+
+
 def test_design_space(capsys):
     assert main(["design-space"]) == 0
     out = capsys.readouterr().out

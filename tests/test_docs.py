@@ -14,7 +14,8 @@ REPO = Path(__file__).parent.parent
 DOCS = REPO / "docs"
 
 REQUIRED_PAGES = [
-    "index.md", "architecture.md", "paper-map.md", "runs.md", "cli.md",
+    "index.md", "architecture.md", "paper-map.md", "platforms.md",
+    "runs.md", "cli.md",
 ]
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

@@ -1,9 +1,17 @@
 """Unit tests for repro.dse.SweepSpec: axes, expansion, JSON round-trip."""
 
+import warnings
+
 import pytest
 
 from repro.api import ExperimentSpec
-from repro.dse import HW_AXES, SPEC_AXES, SweepSpec, SweepSpecError
+from repro.dse import (
+    HW_AXES,
+    PLATFORM_AXES,
+    SPEC_AXES,
+    SweepSpec,
+    SweepSpecError,
+)
 
 BASE = ExperimentSpec("CartPole-v0", max_generations=2, pop_size=10, max_steps=30)
 
@@ -18,7 +26,21 @@ class TestValidation:
     def test_axis_catalogue_covers_spec_and_hardware(self):
         assert "pop_size" in SPEC_AXES
         assert "backend_options" not in SPEC_AXES
+        assert "platform" not in SPEC_AXES
         assert "hw.eve_pes" in HW_AXES
+        for axis in ("platform.eve_pes", "platform.noc",
+                     "platform.scheduler", "platform.adam_shape",
+                     "platform.num_eve_pes"):
+            assert axis in PLATFORM_AXES
+
+    def test_hw_axes_warn_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="platform.eve_pes"):
+            sweep(axes={"hw.eve_pes": [8]})
+
+    def test_platform_axes_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sweep(axes={"platform.eve_pes": [8]})
 
     def test_unknown_axis(self):
         with pytest.raises(SweepSpecError, match="unknown sweep axis"):
@@ -98,6 +120,64 @@ class TestExpansion:
             base=base, axes={"hw.eve_pes": [8]}
         ).expand()
         assert point.spec.backend_options == {"noc": "p2p", "eve_pes": 8}
+
+    def test_platform_axes_embed_soc_platform_spec(self):
+        s = sweep(axes={
+            "backend": ["soc", "software"],
+            "platform.eve_pes": [32],
+            "platform.noc": ["p2p"],
+        })
+        by_backend = {p.spec.backend: p for p in s.expand()}
+        soc = by_backend["soc"].spec
+        assert soc.platform is not None
+        assert soc.platform.kind == "soc"
+        assert soc.platform.params.eve_pes == 32
+        assert soc.platform.params.noc == "p2p"
+        assert soc.backend_options == {}  # declarative, not knob folding
+        # platform axes parameterise hardware substrates only: the
+        # software point's effective spec is untouched and collapses in
+        # the cache.
+        assert by_backend["software"].spec.platform is None
+        assert by_backend["software"].axes["platform.eve_pes"] == 32
+
+    def test_platform_axes_update_embedded_platform(self):
+        base = BASE.replace(
+            backend="soc",
+            platform={"kind": "soc", "params": {"scheduler": "round-robin"}},
+        )
+        (point,) = SweepSpec(
+            base=base, axes={"platform.eve_pes": [16]}
+        ).expand()
+        assert point.spec.platform.params.eve_pes == 16
+        assert point.spec.platform.params.scheduler == "round-robin"
+
+    def test_platform_axes_derive_analytical_variant(self):
+        base = BASE.replace(backend="analytical:GENESYS")
+        points = SweepSpec(
+            base=base, axes={"platform.num_eve_pes": [64, 256]}
+        ).expand()
+        assert [p.spec.platform.params.num_eve_pes for p in points] == [64, 256]
+        assert all(p.spec.backend == "analytical" for p in points)
+        assert all(p.spec.platform.name == "GENESYS" for p in points)
+
+    def test_platform_axes_filter_by_kind(self):
+        # eve_pes is a soc param, not a genesys one: the analytical
+        # point is untouched (and would collapse in the cache).
+        base = BASE.replace(backend="analytical:GENESYS")
+        (point,) = SweepSpec(
+            base=base, axes={"platform.eve_pes": [64]}
+        ).expand()
+        assert point.spec == base
+
+    def test_platform_axis_invalid_value_reports_point(self):
+        base = BASE.replace(backend="soc")
+        bad = SweepSpec(base=base, axes={"platform.noc": ["p2p", "torus"]})
+        with pytest.raises(SweepSpecError, match="torus"):
+            bad.expand()
+
+    def test_unknown_platform_axis_field(self):
+        with pytest.raises(SweepSpecError, match="unknown sweep axis"):
+            sweep(axes={"platform.warp_factor": [9]})
 
     def test_random_sampling_is_seeded_and_within_grid(self):
         s = sweep(

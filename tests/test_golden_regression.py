@@ -86,6 +86,14 @@ def test_golden_files_are_well_formed():
     assert files, "no golden files committed"
     for path in files:
         data = json.loads(path.read_text())
+        assert "description" in data, f"{path.name} lacks a description"
+    # the software-trajectory goldens this module replays have a fixed
+    # shape (the platform-API goldens in test_platform_golden.py carry
+    # their own)
+    software = sorted(GOLDEN_DIR.glob("*_software_*.json"))
+    assert software, "no software golden files committed"
+    for path in software:
+        data = json.loads(path.read_text())
         assert {"description", "spec", "trajectory"} <= set(data)
         spec = ExperimentSpec.from_dict(data["spec"])
         assert spec.backend == "software"

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.hw.noc import MulticastTreeNoC, PointToPointNoC, make_noc
+from repro.hw.noc import (
+    NOC_KINDS,
+    MulticastTreeNoC,
+    PointToPointNoC,
+    canonical_noc_kind,
+    make_noc,
+)
 
 
 def demands_shared_parent(n_pes):
@@ -70,6 +76,41 @@ class TestFactory:
     def test_unknown_raises(self):
         with pytest.raises(ValueError):
             make_noc("torus")
+
+
+class TestCanonicaliser:
+    """One shared spelling canonicaliser for every layer (NoC factory,
+    soc backend options, platform specs, sweep axes)."""
+
+    @pytest.mark.parametrize("spelling,expected", [
+        ("p2p", "p2p"),
+        ("P2P", "p2p"),
+        ("point-to-point", "p2p"),
+        ("point to point", "p2p"),
+        ("bus", "p2p"),
+        ("multicast", "multicast"),
+        ("Multicast-Tree", "multicast"),
+        ("tree", "multicast"),
+    ])
+    def test_accepted_spellings(self, spelling, expected):
+        assert canonical_noc_kind(spelling) == expected
+        assert expected in NOC_KINDS
+
+    @pytest.mark.parametrize("bad", ["torus", "mesh", "", "p2p2", 3])
+    def test_rejected_spellings_name_the_kinds(self, bad):
+        with pytest.raises(ValueError, match="p2p"):
+            canonical_noc_kind(bad)
+
+    def test_backends_reexport_is_the_same_table(self):
+        from repro.api.backends import NOC_KINDS as backend_kinds
+
+        assert backend_kinds == NOC_KINDS
+
+    def test_soc_backend_accepts_long_spelling(self):
+        from repro.api import make_backend
+
+        backend = make_backend("soc", noc="point-to-point")
+        assert backend.noc == "p2p"
 
 
 def test_reset_stats():

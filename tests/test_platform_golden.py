@@ -1,0 +1,126 @@
+"""Golden pins across the platform-API redesign.
+
+The committed files pin behaviour captured on the *pre-redesign* code:
+
+* ``tests/golden/analytical_genesys_seed0.json`` — a fixed-seed
+  ``analytical:GENESYS`` run's full metric trajectory (fitness,
+  modelled runtime/energy) plus its DSE cache key.
+* ``tests/golden/hw_sweep_soc_4point.json`` — a 4-point ``hw.*``-axis
+  ``soc`` sweep's metrics *and* per-point cache keys.
+
+Together they prove the unified-PlatformSpec registry is a pure
+refactor for pre-existing specs: identical modelled costs, identical
+evolution, identical cache keys (so warmed caches survive the
+migration), and that the new ``platform.*`` axes alias the old ``hw.*``
+axes bit-for-bit.
+
+Regenerate (only for an *intentional* cost-model change, in the same
+commit) by rerunning the producing snippets with the values in each
+file's ``description``/``sweep`` blocks.
+"""
+
+import json
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.api import Experiment, ExperimentSpec
+from repro.dse import SweepRunner, SweepSpec, spec_key
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+_METRIC_KEYS = ("fitness", "generations", "converged", "runtime_s",
+                "energy_j", "env_steps", "inference_macs")
+
+
+@pytest.fixture(scope="module")
+def genesys_golden():
+    return json.loads(
+        (GOLDEN_DIR / "analytical_genesys_seed0.json").read_text()
+    )
+
+
+@pytest.fixture(scope="module")
+def hw_sweep_golden():
+    return json.loads((GOLDEN_DIR / "hw_sweep_soc_4point.json").read_text())
+
+
+class TestAnalyticalGenesysGolden:
+    def test_trajectory_is_byte_identical(self, genesys_golden):
+        spec = ExperimentSpec.from_dict(genesys_golden["spec"])
+        result = Experiment(spec).run()
+        observed = {
+            "best_fitness": [m.best_fitness for m in result.metrics],
+            "mean_fitness": [m.mean_fitness for m in result.metrics],
+            "runtime_s": [m.runtime_s for m in result.metrics],
+            "energy_j": [m.energy_j for m in result.metrics],
+            "generations": result.generations,
+            "converged": result.converged,
+        }
+        for key, expected in genesys_golden["trajectory"].items():
+            assert observed[key] == expected, (
+                f"analytical:GENESYS {key} diverged from pre-redesign "
+                f"golden\n  expected {expected}\n  observed {observed[key]}"
+            )
+        assert result.total_runtime_s == genesys_golden["totals"]["total_runtime_s"]
+        assert result.total_energy_j == genesys_golden["totals"]["total_energy_j"]
+
+    def test_cache_key_unchanged_for_pre_existing_spec(self, genesys_golden):
+        """A spec without a platform block must hash exactly as it did
+        before the redesign — warmed DSE caches stay valid."""
+        spec = ExperimentSpec.from_dict(genesys_golden["spec"])
+        assert spec.platform is None
+        assert spec_key(spec) == genesys_golden["spec_key"]
+        # and the serialised dict is the pre-redesign shape (no
+        # platform key at all, not platform: null)
+        assert spec.to_dict() == genesys_golden["spec"]
+
+
+class TestHwAxisAliasGolden:
+    def _run(self, sweep):
+        return SweepRunner(sweep).run().rows
+
+    def test_hw_sweep_metrics_and_keys_unchanged(self, hw_sweep_golden):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sweep = SweepSpec.from_dict(hw_sweep_golden["sweep"])
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "platform.eve_pes" in str(w.message)
+            for w in caught
+        ), "hw.* axes must warn and point at the platform.* spelling"
+        rows = self._run(sweep)
+        assert [r["key"] for r in rows] == hw_sweep_golden["spec_keys"], (
+            "hw.*-axis cache keys changed across the redesign"
+        )
+        for row, golden in zip(rows, hw_sweep_golden["rows"]):
+            for key in _METRIC_KEYS:
+                assert row[key] == golden[key], (
+                    f"hw.* sweep {key} diverged at point "
+                    f"{golden['hw.eve_pes']}/{golden['hw.noc']}"
+                )
+
+    def test_platform_axes_alias_hw_axes_bit_for_bit(self, hw_sweep_golden):
+        """The migrated spelling evaluates the identical experiments."""
+        base = ExperimentSpec.from_dict(hw_sweep_golden["sweep"]["base"])
+        axes = {
+            f"platform.{name.split('.', 1)[1]}": values
+            for name, values in hw_sweep_golden["sweep"]["axes"].items()
+        }
+        rows = self._run(SweepSpec(base=base, axes=axes))
+        for row, golden in zip(rows, hw_sweep_golden["rows"]):
+            for key in _METRIC_KEYS:
+                assert row[key] == golden[key], (
+                    f"platform.* sweep {key} diverged from the hw.* "
+                    f"golden at point {golden['hw.eve_pes']}/"
+                    f"{golden['hw.noc']}"
+                )
+
+    def test_platform_axis_points_carry_embedded_specs(self, hw_sweep_golden):
+        base = ExperimentSpec.from_dict(hw_sweep_golden["sweep"]["base"])
+        points = SweepSpec(
+            base=base, axes={"platform.eve_pes": [8, 32]}
+        ).expand()
+        assert all(p.spec.platform is not None for p in points)
+        assert [p.spec.platform.params.eve_pes for p in points] == [8, 32]
