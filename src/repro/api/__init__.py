@@ -43,6 +43,7 @@ from .backends import (
     EvaluationObserver,
     GenerationObserver,
     ResumeUnsupportedError,
+    ShouldStop,
     SoCBackend,
     SoftwareBackend,
     StateObserver,
@@ -67,6 +68,7 @@ __all__ = [
     "ParallelFitnessEvaluator",
     "ResumeUnsupportedError",
     "RunResult",
+    "ShouldStop",
     "SoCBackend",
     "SoftwareBackend",
     "SpecError",

@@ -68,6 +68,11 @@ EvaluationObserver = Callable[[int, List[Genome]], None]
 #: new generation boundary — the hook :mod:`repro.runs` checkpoints
 #: through (``population.to_state()`` is resumable from exactly here).
 StateObserver = Callable[[Population], None]
+#: Cooperative-stop predicate, polled after each generation with the
+#: number of completed generations.  Returning ``True`` ends the run at
+#: that boundary — the hook the :mod:`repro.serve` scheduler preempts
+#: through (yield at a checkpoint boundary, resume later, bit-identical).
+ShouldStop = Callable[[int], bool]
 
 
 class UnknownBackendError(KeyError):
@@ -81,10 +86,12 @@ class ResumeUnsupportedError(SpecError):
 class Backend(Protocol):
     """The substrate protocol: resolve a spec into a unified result.
 
-    ``on_state`` and ``resume_state`` are optional capabilities: the
-    software-loop backends (``software``, ``analytical:*``) implement
-    both; the ``soc`` backend ignores ``on_state`` (its population lives
-    inside the chip model) and rejects ``resume_state``.
+    ``on_state``, ``resume_state`` and ``should_stop`` are optional
+    capabilities: the software-loop backends (``software``,
+    ``analytical:*``) implement all three; the ``soc`` backend ignores
+    ``on_state`` (its population lives inside the chip model), rejects
+    ``resume_state`` and honours ``should_stop`` (a stopped chip run
+    simply ends early).
     """
 
     name: str
@@ -96,6 +103,7 @@ class Backend(Protocol):
         on_evaluation: Optional[EvaluationObserver] = None,
         on_state: Optional[StateObserver] = None,
         resume_state: Optional[Dict] = None,
+        should_stop: Optional[ShouldStop] = None,
     ) -> RunResult:
         ...  # pragma: no cover - protocol
 
@@ -146,6 +154,7 @@ class _SoftwareLoopResult:
     population: Population
     metrics: List[GenerationMetrics] = field(default_factory=list)
     workloads: List[GenerationWorkload] = field(default_factory=list)
+    stopped: bool = False
 
 
 def _run_software_loop(
@@ -159,6 +168,7 @@ def _run_software_loop(
     collect_workloads: bool = False,
     on_state: Optional[StateObserver] = None,
     resume_state: Optional[Dict] = None,
+    should_stop: Optional[ShouldStop] = None,
 ) -> _SoftwareLoopResult:
     """Run software NEAT for a spec, emitting metrics per generation.
 
@@ -175,6 +185,11 @@ def _run_software_loop(
     bit-identical to one that was never interrupted.  ``on_state`` fires
     after every generation with the live population so callers (the
     :mod:`repro.runs` artifact writer) can checkpoint it.
+
+    ``should_stop`` is polled after each generation (after ``on_state``,
+    so the boundary is already checkpointable) with the completed
+    generation count; returning ``True`` ends the loop cooperatively —
+    the preemption mechanism of the :mod:`repro.serve` scheduler.
     """
     config = config_for_env(spec.env_id, spec.pop_size, spec.fitness_threshold)
     if resume_state is not None:
@@ -253,6 +268,9 @@ def _run_software_loop(
                 on_state(population)
             if threshold is not None and population.fitness_summary() >= threshold:
                 break
+            if should_stop is not None and should_stop(population.generation):
+                out.stopped = True
+                break
     finally:
         close = getattr(evaluator, "close", None)
         if close is not None:
@@ -286,10 +304,12 @@ class SoftwareBackend:
         on_evaluation: Optional[EvaluationObserver] = None,
         on_state: Optional[StateObserver] = None,
         resume_state: Optional[Dict] = None,
+        should_stop: Optional[ShouldStop] = None,
     ) -> RunResult:
         loop = _run_software_loop(
             spec, self.fitness_transform, on_generation, on_evaluation,
             on_state=on_state, resume_state=resume_state,
+            should_stop=should_stop,
         )
         population = loop.population
         return RunResult(
@@ -298,6 +318,7 @@ class SoftwareBackend:
             champion=population.best_genome,
             generations=population.generation,
             converged=population.converged,
+            stopped_early=loop.stopped,
             metrics=loop.metrics,
             neat_config=population.config,
             population=population,
@@ -361,6 +382,7 @@ class AnalyticalBackend:
         on_evaluation: Optional[EvaluationObserver] = None,
         on_state: Optional[StateObserver] = None,
         resume_state: Optional[Dict] = None,
+        should_stop: Optional[ShouldStop] = None,
     ) -> RunResult:
         def decorate(metrics: GenerationMetrics, workload: GenerationWorkload) -> None:
             inference = self.platform.inference_cost(workload)
@@ -372,6 +394,7 @@ class AnalyticalBackend:
             spec, self.fitness_transform, on_generation, on_evaluation,
             decorate_metrics=decorate,
             on_state=on_state, resume_state=resume_state,
+            should_stop=should_stop,
         )
         population = loop.population
         return RunResult(
@@ -380,6 +403,7 @@ class AnalyticalBackend:
             champion=population.best_genome,
             generations=population.generation,
             converged=population.converged,
+            stopped_early=loop.stopped,
             metrics=loop.metrics,
             neat_config=population.config,
             total_energy_j=sum(m.energy_j for m in loop.metrics),
@@ -542,6 +566,7 @@ class SoCBackend:
         on_evaluation: Optional[EvaluationObserver] = None,
         on_state: Optional[StateObserver] = None,
         resume_state: Optional[Dict] = None,
+        should_stop: Optional[ShouldStop] = None,
     ) -> RunResult:
         if resume_state is not None:
             raise ResumeUnsupportedError(
@@ -558,6 +583,7 @@ class SoCBackend:
         )
         threshold = config.neat.fitness_threshold
         metrics: List[GenerationMetrics] = []
+        stopped = False
         for _ in range(spec.max_generations):
             if not soc.population:
                 soc.initialise_population()
@@ -570,6 +596,11 @@ class SoCBackend:
             if on_generation is not None:
                 on_generation(entry)
             if threshold is not None and report.best_fitness >= threshold:
+                break
+            if should_stop is not None and should_stop(soc.generation):
+                # The chip model cannot resume, so stopping here just
+                # ends the run early (the caller decides what that means).
+                stopped = True
                 break
         if soc.best_genome is None:
             raise RuntimeError("no generations were evaluated")
@@ -588,6 +619,7 @@ class SoCBackend:
             champion=champion,
             generations=soc.generation,
             converged=converged,
+            stopped_early=stopped,
             metrics=metrics,
             neat_config=config.neat,
             total_energy_j=sum(r.energy.total_energy_j for r in soc.reports),

@@ -22,6 +22,7 @@ from .backends import (
     Backend,
     EvaluationObserver,
     GenerationObserver,
+    ShouldStop,
     StateObserver,
     make_backend,
 )
@@ -75,21 +76,27 @@ class Experiment:
         on_evaluation: Optional[EvaluationObserver] = None,
         on_state: Optional[StateObserver] = None,
         resume_state: Optional[Dict] = None,
+        should_stop: Optional[ShouldStop] = None,
     ) -> RunResult:
         """Run the closed loop to threshold or generation budget.
 
         ``on_state`` fires after each generation with the live
-        :class:`repro.neat.Population` (software-loop backends only) and
+        :class:`repro.neat.Population` (software-loop backends only),
         ``resume_state`` continues a run from a
-        :meth:`repro.neat.Population.to_state` checkpoint payload.  Both
-        are forwarded only when set, so backends registered before these
-        capabilities existed keep working unchanged.
+        :meth:`repro.neat.Population.to_state` checkpoint payload, and
+        ``should_stop`` is polled after each generation to end the run
+        cooperatively at that boundary (``result.stopped_early`` marks
+        such runs).  All three are forwarded only when set, so backends
+        registered before these capabilities existed keep working
+        unchanged.
         """
         extra: Dict[str, Any] = {}
         if on_state is not None:
             extra["on_state"] = on_state
         if resume_state is not None:
             extra["resume_state"] = resume_state
+        if should_stop is not None:
+            extra["should_stop"] = should_stop
         return self.backend.run(
             self.spec,
             on_generation=on_generation,

@@ -72,6 +72,9 @@ class RunResult:
     generations: int
     converged: bool
     metrics: List[GenerationMetrics] = field(default_factory=list)
+    #: The run ended at a ``should_stop`` boundary before its budget or
+    #: threshold — a cooperative preemption, not a completed run.
+    stopped_early: bool = False
     neat_config: Optional["NEATConfig"] = None
     total_energy_j: Optional[float] = None
     total_cycles: Optional[int] = None

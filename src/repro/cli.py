@@ -19,6 +19,12 @@ Commands
 ``run --resume DIR``              continue a run from its last checkpoint
 ``report DIR [DIR...]``           rebuild metric tables from artifacts
 
+``serve ROOT``                    run the evolution-job scheduler (and
+                                  HTTP/JSON API) over a serve root
+``submit [ENV] --root|--url``     queue an experiment as a job
+``jobs --root|--url``             list jobs and their progress
+``job ID --root|--url``           inspect / follow / cancel one job
+
 ``run``, ``characterise`` and ``platforms`` are spec-driven: flags build
 an :class:`repro.api.ExperimentSpec`, or ``--spec FILE`` loads one from
 JSON (explicit flags override the file).  ``--backend`` selects the
@@ -522,6 +528,214 @@ def _cmd_design_space(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_endpoint(args: argparse.Namespace):
+    """``--root DIR`` / ``--url URL`` -> ``(JobStore | None, ServeClient
+    | None)`` — exactly one is set; submit/jobs/job accept either."""
+    root = getattr(args, "root", None)
+    url = getattr(args, "url", None)
+    if (root is None) == (url is None):
+        raise SystemExit(
+            "error: exactly one of --root DIR (direct store access) or "
+            "--url URL (HTTP API) is required"
+        )
+    if root is not None:
+        from .serve import JobStore
+
+        return JobStore(root), None
+    from .serve import ServeClient
+
+    return None, ServeClient(url)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import JobApiServer, JobStore, Scheduler
+
+    store = JobStore(args.root)
+    scheduler = Scheduler(
+        store,
+        workers=args.workers,
+        poll_interval=args.poll_interval,
+        backoff_base=args.backoff_base,
+        stale_after=args.stale_after,
+    )
+    server = None
+    if not args.no_http:
+        server = JobApiServer(store, host=args.host, port=args.port).start()
+        print(f"serving jobs from {store.root} at {server.url}")
+    else:
+        print(f"scheduling jobs from {store.root} (no HTTP API)")
+    hint = f"'repro submit ENV --root {store.root}'"
+    if server is not None:
+        hint += f" or '--url {server.url}'"
+    print(f"  workers: {args.workers}; submit with {hint}")
+    try:
+        if args.until_idle:
+            scheduler.run_until_idle(timeout=args.timeout)
+        else:
+            scheduler.run_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down (workers yield at their next checkpoint)")
+    finally:
+        scheduler.shutdown()
+        if server is not None:
+            server.shutdown()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    store, client = _serve_endpoint(args)
+    if store is not None:
+        record = store.submit(
+            spec,
+            priority=args.priority,
+            checkpoint_every=args.checkpoint_every,
+            max_retries=args.max_retries,
+        )
+        payload = store.describe(record.id)
+        where = f"--root {store.root}"
+    else:
+        payload = client.submit(
+            spec.to_dict(),
+            priority=args.priority,
+            checkpoint_every=args.checkpoint_every,
+            max_retries=args.max_retries,
+        )
+        where = f"--url {client.base_url}"
+    print(
+        f"{payload['id']} queued: {spec.env_id} [{spec.backend}] "
+        f"{spec.max_generations} generations, priority {payload['priority']}"
+    )
+    print(f"  follow with 'repro job {payload['id']} {where} --follow'")
+    return 0
+
+
+def _job_progress(payload) -> str:
+    done = payload.get("generations_done") or 0
+    total = (payload.get("spec") or {}).get("max_generations", "?")
+    return f"{done}/{total}"
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    store, client = _serve_endpoint(args)
+    if store is not None:
+        payloads = [store.describe(job_id) for job_id in store.job_ids()]
+        source = str(store.root)
+    else:
+        payloads = client.jobs()
+        source = client.base_url
+    rows = []
+    for payload in payloads:
+        spec = payload.get("spec") or {}
+        best = payload.get("best_fitness")
+        rows.append([
+            payload["id"],
+            payload["state"],
+            payload["priority"],
+            spec.get("env_id", "?"),
+            spec.get("backend", "?"),
+            _job_progress(payload),
+            "-" if best is None else f"{best:.2f}",
+        ])
+    print(render_table(
+        ["job", "state", "priority", "environment", "backend",
+         "generations", "best"],
+        rows,
+        title=f"Jobs in {source}",
+    ))
+    return 0
+
+
+def _print_job(payload) -> None:
+    spec = payload.get("spec") or {}
+    print(
+        f"{payload['id']}: {payload['state']} "
+        f"({spec.get('env_id', '?')} [{spec.get('backend', '?')}], "
+        f"generations {_job_progress(payload)}, "
+        f"priority {payload['priority']}, attempts {payload['attempts']})"
+    )
+    best = payload.get("best_fitness")
+    if best is not None:
+        print(f"  best fitness {best:.2f} over "
+              f"{payload['metrics_rows']} recorded generations")
+    error = payload.get("error")
+    if error:
+        print(f"  error: {error.strip().splitlines()[-1]}")
+
+
+def _cmd_job(args: argparse.Namespace) -> int:
+    import time
+
+    from .serve import FAILED, TERMINAL_STATES
+
+    store, client = _serve_endpoint(args)
+
+    def describe():
+        if store is not None:
+            return store.describe(args.job_id)
+        return client.job(args.job_id)
+
+    def metrics_since(since: int):
+        if store is not None:
+            rd = store.run_dir(args.job_id)
+            rows = rd.read_metrics() if rd.has_artifacts() else []
+            return [r for r in rows if int(r.get("generation", 0)) >= since]
+        return client.metrics(args.job_id, since=since)
+
+    if args.cancel:
+        if store is not None:
+            store.request_cancel(args.job_id)
+            payload = store.describe(args.job_id)
+        else:
+            payload = client.cancel(args.job_id)
+        if payload["state"] == "cancelled":
+            print(f"{args.job_id} cancelled")
+        else:
+            print(f"{args.job_id} cancel requested (state: "
+                  f"{payload['state']}; honoured at the next checkpoint "
+                  "boundary)")
+        return 0
+
+    if args.events:
+        events = (
+            store.read_events(args.job_id)
+            if store is not None
+            else client.events(args.job_id)
+        )
+        for row in events:
+            row = dict(row)
+            row.pop("ts", None)
+            event = row.pop("event", "?")
+            detail = " ".join(f"{k}={v}" for k, v in sorted(row.items()))
+            print(f"{event:<20}{detail}".rstrip())
+        return 0
+
+    payload = describe()
+    if args.follow or args.wait:
+        next_generation = 0
+        while True:
+            if args.follow:
+                for row in metrics_since(next_generation):
+                    generation = int(row.get("generation", 0))
+                    next_generation = max(next_generation, generation + 1)
+                    print(f"gen {generation}: "
+                          f"best {row.get('best_fitness', 0.0):.2f} "
+                          f"mean {row.get('mean_fitness', 0.0):.2f}")
+            payload = describe()
+            if payload["state"] in TERMINAL_STATES:
+                break
+            time.sleep(args.poll_interval)
+        if args.follow:
+            # Drain rows that landed between the last poll and the
+            # terminal transition.
+            for row in metrics_since(next_generation):
+                print(f"gen {row.get('generation')}: "
+                      f"best {row.get('best_fitness', 0.0):.2f} "
+                      f"mean {row.get('mean_fitness', 0.0):.2f}")
+    _print_job(payload)
+    return 1 if payload["state"] == FAILED else 0
+
+
 def _positive_int(text: str) -> int:
     try:
         value = int(text)
@@ -700,6 +914,117 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write PREFIX.csv (per-generation rows) and "
                              "PREFIX.json (full artifacts)")
     report.set_defaults(func=_cmd_report)
+
+    def add_endpoint_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--root", metavar="DIR",
+                       help="serve root directory (direct store access; "
+                            "works with or without a running scheduler)")
+        p.add_argument("--url", metavar="URL",
+                       help="HTTP endpoint of a 'repro serve' process, "
+                            "e.g. http://127.0.0.1:8642")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the evolution-job scheduler and HTTP API",
+        description="Run the repro.serve scheduler over a serve root: a "
+                    "pool of worker processes executes queued jobs in "
+                    "checkpoint-sized slices, higher-priority submissions "
+                    "preempt running jobs at their next checkpoint "
+                    "boundary (and later resume bit-identically), crashed "
+                    "workers are reclaimed via stale lock heartbeats and "
+                    "retried with exponential backoff.  Unless --no-http "
+                    "is given, a JSON API serves submissions, status, "
+                    "metrics and cancellation over HTTP.",
+    )
+    serve.add_argument("root", metavar="ROOT",
+                       help="serve root directory (created if missing)")
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       metavar="N",
+                       help="concurrent worker processes (default 2)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="HTTP bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="HTTP port (default 8642; 0 picks a free one)")
+    serve.add_argument("--no-http", action="store_true",
+                       help="run the scheduler only, without the JSON API")
+    serve.add_argument("--until-idle", action="store_true",
+                       help="exit once every job is terminal (batch/CI "
+                            "mode) instead of serving forever")
+    serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="with --until-idle: fail if jobs are still "
+                            "active after S seconds")
+    serve.add_argument("--poll-interval", type=float, default=0.5,
+                       metavar="S",
+                       help="scheduler poll cadence in seconds "
+                            "(default 0.5)")
+    serve.add_argument("--backoff-base", type=float, default=1.0,
+                       metavar="S",
+                       help="first retry delay for failed jobs; attempt n "
+                            "waits backoff * 2^(n-1) (default 1.0)")
+    serve.add_argument("--stale-after", type=float, default=30.0,
+                       metavar="S",
+                       help="reclaim a running job when its run-lock "
+                            "heartbeat is older than S seconds "
+                            "(default 30)")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="queue an experiment as a job",
+        description="Build an experiment spec exactly like 'run' does "
+                    "(flags and/or --spec FILE) and enqueue it as a job "
+                    "in a serve root — directly (--root) or through a "
+                    "running server (--url).  Higher --priority jobs "
+                    "dispatch first and preempt lower-priority running "
+                    "jobs at their next checkpoint boundary.",
+    )
+    add_workload_args(submit)
+    add_endpoint_args(submit)
+    submit.add_argument("--priority", type=int, default=0,
+                        help="scheduling priority (default 0; higher "
+                             "preempts lower)")
+    submit.add_argument("--checkpoint-every", type=_positive_int,
+                        default=None, metavar="N",
+                        help="checkpoint cadence in generations; also the "
+                             "preemption granularity (default 5)")
+    submit.add_argument("--max-retries", type=int, default=2, metavar="N",
+                        help="crashed-worker retries before the job is "
+                             "marked failed (default 2)")
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list jobs in a serve root",
+    )
+    add_endpoint_args(jobs)
+    jobs.set_defaults(func=_cmd_jobs)
+
+    job = sub.add_parser(
+        "job",
+        help="inspect, follow or cancel one job",
+        description="Show one job's state and progress.  --wait blocks "
+                    "until the job is terminal (for scripts/CI), --follow "
+                    "additionally streams per-generation metrics as they "
+                    "are recorded, --events prints the job's full event "
+                    "history (submissions, slices, preemptions, retries), "
+                    "--cancel stops it (immediately if waiting, at the "
+                    "next checkpoint boundary if running).  Exits 1 if "
+                    "the job ended in state 'failed'.",
+    )
+    job.add_argument("job_id", metavar="ID", help="job id, e.g. job-000001")
+    add_endpoint_args(job)
+    job.add_argument("--cancel", action="store_true",
+                     help="cancel the job")
+    job.add_argument("--wait", action="store_true",
+                     help="block until the job reaches a terminal state")
+    job.add_argument("--follow", action="store_true",
+                     help="stream metrics until the job is terminal "
+                          "(implies --wait)")
+    job.add_argument("--events", action="store_true",
+                     help="print the job's event log and exit")
+    job.add_argument("--poll-interval", type=float, default=1.0,
+                     metavar="S",
+                     help="poll cadence for --wait/--follow (default 1.0)")
+    job.set_defaults(func=_cmd_job)
     return parser
 
 
@@ -712,6 +1037,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     from .neat.serialize import DeserializationError
     from .platforms import PlatformSpecError, UnknownPlatformError
     from .runs import RunError
+    from .serve import JobStoreError, ServeClientError
 
     try:
         return args.func(args)
@@ -719,6 +1045,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         SpecError, UnknownBackendError, UnknownEnvironmentError,
         ObjectiveError, RunError, DeserializationError,
         PlatformSpecError, UnknownPlatformError,
+        JobStoreError, ServeClientError,
     ) as exc:
         # KeyError subclasses repr-quote their message; unwrap it.
         message = exc.args[0] if exc.args else exc

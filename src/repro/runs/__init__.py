@@ -43,6 +43,12 @@ from .artifacts import (
     RunDir,
     RunError,
 )
+from .locking import (
+    LOCK_FILENAME,
+    RunDirLock,
+    RunLockedError,
+    read_lock,
+)
 from .report import (
     RunReport,
     export_reports,
@@ -62,13 +68,17 @@ __all__ = [
     "CHAMPION_FILENAME",
     "CHECKPOINT_DIRNAME",
     "DEFAULT_CHECKPOINT_EVERY",
+    "LOCK_FILENAME",
     "METRICS_FILENAME",
     "RESULT_FILENAME",
     "SPEC_FILENAME",
     "RunDir",
+    "RunDirLock",
     "RunError",
+    "RunLockedError",
     "RunReport",
     "RunWriter",
+    "read_lock",
     "export_reports",
     "fitness_table",
     "hardware_table",

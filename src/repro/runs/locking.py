@@ -1,0 +1,242 @@
+"""Exclusive run-directory claims: one writer per run dir, ever.
+
+Durable runs made a latent race urgent: two processes that both open the
+same run directory would interleave ``metrics.jsonl`` appends and fight
+over checkpoints — silently, because every individual write is atomic.
+:class:`RunDirLock` closes the race with an on-disk claim file
+(``run.lock``) holding the owner's PID, host and a heartbeat timestamp:
+
+* acquisition is an atomic ``O_CREAT | O_EXCL`` create — exactly one
+  process wins;
+* while held, a daemon thread refreshes ``heartbeat_at`` every
+  ``heartbeat_interval`` seconds, so observers (the ``repro.serve``
+  scheduler) can tell a live run from a dead one;
+* a lock whose owner died (same-host PID gone) or whose heartbeat is
+  older than ``stale_after`` seconds is *reclaimable*: the breaker
+  atomically renames the stale file aside (only one contender can win
+  the rename) and then takes the claim normally.
+
+:func:`repro.runs.run_in_dir` holds this lock for the whole execution,
+so two schedulers, a scheduler plus a CLI user, or two CLI users can
+never corrupt one run directory between them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .artifacts import RunError
+
+LOCK_FILENAME = "run.lock"
+
+#: A heartbeat older than this (seconds) marks the lock stale even when
+#: the owner PID cannot be probed (e.g. it lives on another host).
+DEFAULT_STALE_AFTER = 60.0
+#: How often the holder refreshes ``heartbeat_at`` while running.
+DEFAULT_HEARTBEAT_INTERVAL = 5.0
+
+
+class RunLockedError(RunError):
+    """The run directory is exclusively claimed by a live process."""
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a same-host PID."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return True  # unknowable: err on the side of "alive"
+    return True
+
+
+class RunDirLock:
+    """An exclusive, heartbeat-refreshed claim on one run directory.
+
+    Use as a context manager (what :func:`repro.runs.run_in_dir` does)::
+
+        with RunDirLock(run_dir):
+            ...  # sole writer of run_dir
+
+    ``stale_after`` and ``heartbeat_interval`` are tunable for tests and
+    for schedulers that want faster crash detection.
+    """
+
+    def __init__(
+        self,
+        run_dir: Union[str, Path],
+        stale_after: float = DEFAULT_STALE_AFTER,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    ) -> None:
+        if stale_after <= 0:
+            raise ValueError("stale_after must be > 0")
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0")
+        self.run_dir = Path(run_dir)
+        self.path = self.run_dir / LOCK_FILENAME
+        self.stale_after = stale_after
+        self.heartbeat_interval = heartbeat_interval
+        self._fd: Optional[int] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def read(self) -> Optional[Dict[str, Any]]:
+        """The current lock payload, or ``None`` when unlocked/torn."""
+        return read_lock(self.run_dir)
+
+    def is_stale(self, payload: Optional[Dict[str, Any]] = None) -> bool:
+        """Is the recorded owner observably dead or silent too long?
+
+        A torn/unreadable lock file also counts as stale — its writer
+        died mid-claim.
+        """
+        if payload is None:
+            if not self.path.exists():
+                return False
+            payload = self.read()
+        if payload is None:
+            return True
+        heartbeat = payload.get("heartbeat_at", payload.get("acquired_at", 0))
+        if time.time() - float(heartbeat) > self.stale_after:
+            return True
+        if payload.get("host") == socket.gethostname():
+            pid = payload.get("pid")
+            if isinstance(pid, int) and not _pid_alive(pid):
+                return True
+        return False
+
+    # -- acquire / release ------------------------------------------------
+
+    def _payload(self) -> Dict[str, Any]:
+        now = time.time()
+        return {
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "acquired_at": now,
+            "heartbeat_at": now,
+        }
+
+    def _try_break(self) -> None:
+        """Move a stale claim aside; exactly one contender wins the rename."""
+        aside = self.path.with_name(
+            f"{LOCK_FILENAME}.stale-{os.getpid()}-{time.monotonic_ns()}"
+        )
+        try:
+            os.rename(self.path, aside)
+        except FileNotFoundError:
+            return  # another contender broke it first
+        try:
+            aside.unlink()
+        except OSError:
+            pass
+
+    def acquire(self) -> "RunDirLock":
+        if self.held:
+            raise RunError(f"lock on {self.run_dir} is already held")
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        for attempt in range(3):
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                payload = self.read()
+                if self.is_stale(payload):
+                    self._try_break()
+                    continue
+                owner = "unknown process"
+                if payload:
+                    owner = (f"pid {payload.get('pid')} on "
+                             f"{payload.get('host')}")
+                raise RunLockedError(
+                    f"{self.run_dir} is claimed by {owner} "
+                    f"(lock file {self.path}); a stale claim becomes "
+                    f"reclaimable after {self.stale_after:.0f}s without a "
+                    "heartbeat"
+                )
+            os.write(fd, (json.dumps(self._payload(), sort_keys=True) + "\n")
+                     .encode())
+            os.fsync(fd)
+            os.close(fd)
+            self._fd = 1  # sentinel: the claim is the file, not the fd
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._heartbeat_loop, daemon=True,
+                name=f"run-lock-heartbeat:{self.run_dir.name}",
+            )
+            self._thread.start()
+            return self
+        raise RunLockedError(
+            f"could not claim {self.run_dir}: lost the reclaim race "
+            "repeatedly"
+        )
+
+    def heartbeat(self) -> None:
+        """Refresh ``heartbeat_at`` in place (atomic rewrite)."""
+        if not self.held:
+            return
+        payload = self.read() or self._payload()
+        payload["heartbeat_at"] = time.time()
+        tmp = self.path.with_name(self.path.name + f".hb-{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            try:
+                self.heartbeat()
+            except OSError:  # pragma: no cover - disk full etc.
+                pass
+
+    def release(self) -> None:
+        if not self.held:
+            return
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.heartbeat_interval + 1)
+            self._thread = None
+        self._fd = None
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "RunDirLock":
+        return self.acquire()
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+
+def read_lock(run_dir: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """The lock payload of a run directory, or ``None``.
+
+    Returns ``None`` both when no claim exists and when the file is torn
+    (its writer died between create and write) — callers distinguish via
+    ``(run_dir / LOCK_FILENAME).exists()`` when they care.
+    """
+    path = Path(run_dir) / LOCK_FILENAME
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    return payload if isinstance(payload, dict) else None

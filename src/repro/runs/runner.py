@@ -29,12 +29,19 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from ..api.backends import EvaluationObserver, GenerationObserver, StateObserver
+from ..api.backends import (
+    EvaluationObserver,
+    GenerationObserver,
+    ResumeUnsupportedError,
+    ShouldStop,
+    StateObserver,
+)
 from ..api.experiment import Experiment
 from ..api.result import GenerationMetrics, RunResult
 from ..api.spec import ExperimentSpec
 from ..neat.population import Population
 from .artifacts import RunDir, RunError
+from .locking import RunDirLock
 
 #: Default checkpoint cadence (generations between full-state snapshots).
 DEFAULT_CHECKPOINT_EVERY = 5
@@ -81,15 +88,20 @@ class RunWriter:
                 population.best_genome, population.config
             )
 
-    def finalize(self, result: RunResult) -> None:
-        """Seal the run: final checkpoint, champion, result summary."""
+    def finalize(self, result: RunResult, complete: bool = True) -> None:
+        """Seal the run: final checkpoint, champion — and, for a run
+        that actually finished (budget exhausted or threshold met), the
+        ``result.json`` summary.  A preempted run (``complete=False``)
+        leaves no ``result.json``, so the directory still reads as
+        in-progress and a later resume completes it bit-identically."""
         if (
             self._population is not None
             and self._population.generation != self._last_checkpoint_generation
         ):
             self.checkpoint(self._population)
         self.run_dir.write_champion(result.champion, result.neat_config)
-        self.run_dir.write_result(result.summary())
+        if complete:
+            self.run_dir.write_result(result.summary())
 
 
 def _resolve_resume_spec(
@@ -132,6 +144,8 @@ def run_in_dir(
     on_generation: Optional[GenerationObserver] = None,
     on_evaluation: Optional[EvaluationObserver] = None,
     on_state: Optional[StateObserver] = None,
+    should_stop: Optional[ShouldStop] = None,
+    lock_stale_after: Optional[float] = None,
     **experiment_kwargs: Any,
 ) -> RunResult:
     """Run an experiment with durable artifacts in ``run_dir``.
@@ -142,7 +156,23 @@ def run_in_dir(
     ``None`` (use the stored one) or differ only in ``max_generations``
     (extending a finished run is legitimate; anything else would
     diverge).  ``resume="auto"`` resumes when artifacts exist and starts
-    fresh otherwise — the mode the DSE sweep engine uses.
+    fresh otherwise — the mode the DSE sweep engine and the
+    :mod:`repro.serve` scheduler use.  An explicit ``resume=True`` on a
+    ``soc``-backend run raises :class:`repro.api.ResumeUnsupportedError`
+    (the chip model keeps no checkpoints); ``"auto"`` restarts such a
+    run from scratch instead, which reproduces it exactly.
+
+    The whole execution holds the directory's exclusive claim
+    (:class:`repro.runs.RunDirLock`, heartbeat-refreshed), so two
+    processes can never write the same run dir concurrently; a claim
+    left by a crashed process is reclaimed automatically.
+    ``lock_stale_after`` overrides the staleness window (seconds).
+
+    ``should_stop`` is polled after every generation; returning ``True``
+    ends the run cooperatively at that boundary.  A run stopped before
+    its budget/threshold writes no ``result.json`` (it reads as
+    in-progress) and resumes bit-identically later — the
+    checkpoint-yield-resume preemption primitive of ``repro.serve``.
 
     Returns the same :class:`repro.api.RunResult` a plain
     :meth:`Experiment.run` would, with ``metrics`` covering the *whole*
@@ -151,15 +181,53 @@ def run_in_dir(
     rd = run_dir if isinstance(run_dir, RunDir) else RunDir(run_dir)
     if spec is not None and not isinstance(spec, ExperimentSpec):
         spec = ExperimentSpec.load(spec)
+    explicit_resume = resume is True
     if resume == "auto":
         resume = rd.has_artifacts()
     elif not isinstance(resume, bool):
         raise ValueError(f"resume must be True, False or 'auto', got {resume!r}")
 
+    lock_kwargs: Dict[str, Any] = {}
+    if lock_stale_after is not None:
+        lock_kwargs["stale_after"] = lock_stale_after
+    with RunDirLock(rd.path, **lock_kwargs):
+        return _run_in_locked_dir(
+            spec, rd,
+            resume=resume,
+            explicit_resume=explicit_resume,
+            checkpoint_every=checkpoint_every,
+            on_generation=on_generation,
+            on_evaluation=on_evaluation,
+            on_state=on_state,
+            should_stop=should_stop,
+            **experiment_kwargs,
+        )
+
+
+def _run_in_locked_dir(
+    spec: Optional[ExperimentSpec],
+    rd: RunDir,
+    *,
+    resume: bool,
+    explicit_resume: bool,
+    checkpoint_every: Optional[int],
+    on_generation: Optional[GenerationObserver],
+    on_evaluation: Optional[EvaluationObserver],
+    on_state: Optional[StateObserver],
+    should_stop: Optional[ShouldStop],
+    **experiment_kwargs: Any,
+) -> RunResult:
     resume_state: Optional[Dict[str, Any]] = None
     prefix_rows: List[Dict[str, Any]] = []
     if resume:
         spec = _resolve_resume_spec(rd, spec)
+        if explicit_resume and spec.backend.partition(":")[0] == "soc":
+            raise ResumeUnsupportedError(
+                f"{rd.path} was recorded by the soc backend, which keeps "
+                "no checkpoints (its population lives inside the serial "
+                "chip simulation) — re-run the spec fresh, or use the "
+                "software/analytical backends for resumable runs"
+            )
         if checkpoint_every is None:
             # Keep the original cadence so an interrupted-and-resumed
             # run lays down the same checkpoint files as an
@@ -212,6 +280,7 @@ def run_in_dir(
         on_evaluation=on_evaluation,
         on_state=state_observer,
         resume_state=resume_state,
+        should_stop=should_stop,
     )
     if prefix_rows:
         prefix = [GenerationMetrics(**row) for row in prefix_rows]
@@ -224,7 +293,12 @@ def run_in_dir(
             result.total_runtime_s = sum(
                 m.runtime_s or 0.0 for m in result.metrics
             )
-    writer.finalize(result)
+    # A cooperatively stopped run that nevertheless reached its budget
+    # or threshold is complete; only a genuinely early yield stays open.
+    complete = (
+        result.converged or result.generations >= spec.max_generations
+    )
+    writer.finalize(result, complete=complete)
     return result
 
 

@@ -1,0 +1,78 @@
+"""Evolution-as-a-service: a preemptive scheduler over durable run dirs.
+
+The paper's deployment story is a *fleet*: many agents evolving in the
+field, sharing scarce compute, with learning that survives power cycles
+(Section I).  This package is that story as a subsystem — experiments
+become *jobs* that queue, run, preempt and resume without losing a
+generation:
+
+* :class:`JobStore` — a durable on-disk queue: one directory per job
+  holding the spec, scheduling state (atomic ``job.json``), an
+  append-only event log, and the :class:`repro.runs.RunDir` with the
+  actual artifacts.
+* :class:`Scheduler` — a worker-process pool over the store.  Jobs run
+  in checkpoint-cadence slices; a higher-priority submission preempts a
+  running job *at its next checkpoint boundary* (checkpoint -> yield ->
+  requeue -> resume), crashed workers are detected by their stale
+  run-dir lock heartbeat and retried with exponential backoff — and a
+  job preempted N times produces artifacts byte-identical to an
+  uninterrupted run (golden-tested).
+* :class:`JobApiServer` / :class:`ServeClient` — a stdlib HTTP/JSON API
+  over the store: submit a spec, poll status and metrics, fetch the
+  champion, cancel.
+
+Quickstart::
+
+    from repro.api import ExperimentSpec
+    from repro.serve import JobStore, Scheduler
+
+    store = JobStore("serve-root")
+    store.submit(ExperimentSpec("CartPole-v0", max_generations=30))
+    store.submit(ExperimentSpec("MountainCar-v0"), priority=10)  # jumps queue
+    Scheduler(store, workers=2).run_until_idle()
+
+CLI: ``repro serve ROOT --workers 2`` runs scheduler + API;
+``repro submit``, ``repro jobs`` and ``repro job ID`` talk to either the
+root directory or the HTTP endpoint.  See ``docs/serve.md``.
+"""
+
+from .client import ServeClient, ServeClientError
+from .http import DEFAULT_HOST, DEFAULT_PORT, JobApiServer
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    PREEMPTED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    WAITING_STATES,
+    JobRecord,
+    JobStore,
+    JobStoreError,
+    UnknownJobError,
+)
+from .scheduler import Scheduler
+
+__all__ = [
+    "CANCELLED",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "JobApiServer",
+    "JobRecord",
+    "JobStore",
+    "JobStoreError",
+    "PREEMPTED",
+    "QUEUED",
+    "RUNNING",
+    "Scheduler",
+    "ServeClient",
+    "ServeClientError",
+    "TERMINAL_STATES",
+    "UnknownJobError",
+    "WAITING_STATES",
+]

@@ -1,0 +1,113 @@
+"""A tiny urllib client for the :mod:`repro.serve.http` JSON API.
+
+The CLI verbs (``repro submit --url``, ``repro jobs --url``, ``repro
+job --url``) and tests go through this; anything else can, too — it is
+plain stdlib ``urllib.request`` against the documented routes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional
+from urllib.error import HTTPError, URLError
+from urllib.parse import quote, urlencode
+from urllib.request import Request, urlopen
+
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServeClientError(RuntimeError):
+    """An API call failed; carries the HTTP status when there was one."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` endpoint, e.g. ``http://127.0.0.1:8642``."""
+
+    def __init__(self, url: str, timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.base_url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> bytes:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except HTTPError as exc:
+            detail = exc.read().decode(errors="replace").strip()
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServeClientError(
+                f"{method} {path} failed ({exc.code}): {detail}",
+                status=exc.code,
+            ) from exc
+        except URLError as exc:
+            raise ServeClientError(
+                f"cannot reach {self.base_url}: {exc.reason}"
+            ) from exc
+
+    def _json(self, method: str, path: str, payload=None) -> Any:
+        return json.loads(self._request(method, path, payload))
+
+    # -- API calls --------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def submit(
+        self,
+        spec: Mapping[str, Any],
+        priority: int = 0,
+        checkpoint_every: Optional[int] = None,
+        max_retries: int = 2,
+    ) -> Dict[str, Any]:
+        return self._json(
+            "POST",
+            "/jobs",
+            {
+                "spec": dict(spec),
+                "priority": priority,
+                "checkpoint_every": checkpoint_every,
+                "max_retries": max_retries,
+            },
+        )
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{quote(job_id)}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._json("POST", f"/jobs/{quote(job_id)}/cancel")
+
+    def metrics(self, job_id: str, since: int = 0) -> List[Dict[str, Any]]:
+        path = f"/jobs/{quote(job_id)}/metrics"
+        if since:
+            path += "?" + urlencode({"since": since})
+        text = self._request("GET", path).decode()
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+    def events(self, job_id: str) -> List[Dict[str, Any]]:
+        text = self._request("GET", f"/jobs/{quote(job_id)}/events").decode()
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+    def champion(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{quote(job_id)}/champion")

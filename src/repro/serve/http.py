@@ -1,0 +1,259 @@
+"""The JSON job API — stdlib ``http.server``, zero dependencies.
+
+The server is store-mediated and scheduler-agnostic: every request
+reads or writes the on-disk :class:`repro.serve.JobStore`, so it can run
+in the same process as the scheduler (``repro serve``), in a different
+process, or with no scheduler at all (submissions just queue up).
+
+Routes
+------
+
+====== ============================ ========================================
+Method Path                         Meaning
+====== ============================ ========================================
+GET    ``/healthz``                 liveness + job counts by state
+GET    ``/jobs``                    every job (records + derived progress)
+POST   ``/jobs``                    submit ``{"spec": {...}, "priority": 0,
+                                    "checkpoint_every": 5, "max_retries": 2}``
+                                    -> ``201 {"id": "job-000001", ...}``
+GET    ``/jobs/<id>``               one job's record + progress
+POST   ``/jobs/<id>/cancel``        cancel (immediate if waiting, at the
+                                    next checkpoint boundary if running)
+GET    ``/jobs/<id>/metrics``       the run's ``metrics.jsonl`` as ndjson;
+                                    ``?since=G`` streams rows with
+                                    ``generation >= G`` (poll-to-follow)
+GET    ``/jobs/<id>/events``        the job's event log as ndjson
+GET    ``/jobs/<id>/champion``      current champion genome JSON
+====== ============================ ========================================
+
+Errors come back as ``{"error": "..."}`` with 400 (bad request),
+404 (unknown job/route) or 405 (wrong method).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
+
+from .jobs import JOB_STATES, JobStore, JobStoreError, UnknownJobError
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+_NDJSON = "application/x-ndjson"
+_JSON = "application/json"
+
+
+class _ApiError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _JobApiHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def store(self) -> JobStore:
+        return self.server.store  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # quiet by default
+        pass
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _send(
+        self, status: int, body: bytes, content_type: str = _JSON
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        self._send(
+            status,
+            (json.dumps(payload, sort_keys=True) + "\n").encode(),
+        )
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise _ApiError(400, "request body required")
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _ApiError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _ApiError(400, "request body must be a JSON object")
+        return payload
+
+    def _route(self) -> Tuple[str, Optional[str], Optional[str], Dict[str, Any]]:
+        parts = urlsplit(self.path)
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        segments = [s for s in parts.path.split("/") if s]
+        if not segments:
+            raise _ApiError(404, "no such route: /")
+        head = segments[0]
+        job_id = segments[1] if len(segments) > 1 else None
+        action = segments[2] if len(segments) > 2 else None
+        if len(segments) > 3:
+            raise _ApiError(404, f"no such route: {parts.path}")
+        return head, job_id, action, query
+
+    # -- GET --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        try:
+            head, job_id, action, query = self._route()
+            if head == "healthz" and job_id is None:
+                self._get_healthz()
+            elif head == "jobs" and job_id is None:
+                self._send_json(
+                    200,
+                    {"jobs": [
+                        self.store.describe(jid)
+                        for jid in self.store.job_ids()
+                    ]},
+                )
+            elif head == "jobs" and action is None:
+                self._send_json(200, self.store.describe(job_id))
+            elif head == "jobs" and action == "metrics":
+                self._get_metrics(job_id, query)
+            elif head == "jobs" and action == "events":
+                self._get_events(job_id)
+            elif head == "jobs" and action == "champion":
+                self._get_champion(job_id)
+            else:
+                raise _ApiError(404, f"no such route: {self.path}")
+        except _ApiError as exc:
+            self._send_json(exc.status, {"error": exc.message})
+        except UnknownJobError as exc:
+            self._send_json(404, {"error": str(exc.args[0])})
+        except JobStoreError as exc:
+            self._send_json(400, {"error": str(exc)})
+
+    def _get_healthz(self) -> None:
+        counts = {state: 0 for state in JOB_STATES}
+        for record in self.store.list_jobs():
+            counts[record.state] += 1
+        self._send_json(200, {"ok": True, "jobs": counts})
+
+    def _get_metrics(self, job_id: str, query: Dict[str, Any]) -> None:
+        self.store.load(job_id)  # 404 on unknown id
+        since = int(query.get("since", 0))
+        rd = self.store.run_dir(job_id)
+        rows = rd.read_metrics() if rd.has_artifacts() else []
+        body = "".join(
+            json.dumps(row, sort_keys=True) + "\n"
+            for row in rows
+            if int(row.get("generation", 0)) >= since
+        ).encode()
+        self._send(200, body, _NDJSON)
+
+    def _get_events(self, job_id: str) -> None:
+        self.store.load(job_id)
+        body = "".join(
+            json.dumps(row, sort_keys=True) + "\n"
+            for row in self.store.read_events(job_id)
+        ).encode()
+        self._send(200, body, _NDJSON)
+
+    def _get_champion(self, job_id: str) -> None:
+        self.store.load(job_id)
+        path = self.store.run_dir(job_id).champion_path
+        if not path.exists():
+            raise _ApiError(404, f"{job_id} has no champion yet")
+        self._send(200, path.read_bytes())
+
+    # -- POST -------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            head, job_id, action, _query = self._route()
+            if head == "jobs" and job_id is None:
+                self._post_submit()
+            elif head == "jobs" and action == "cancel":
+                self.store.request_cancel(job_id)
+                self._send_json(200, self.store.describe(job_id))
+            else:
+                raise _ApiError(404, f"no such route: {self.path}")
+        except _ApiError as exc:
+            self._send_json(exc.status, {"error": exc.message})
+        except UnknownJobError as exc:
+            self._send_json(404, {"error": str(exc.args[0])})
+        except JobStoreError as exc:
+            self._send_json(400, {"error": str(exc)})
+
+    def _post_submit(self) -> None:
+        payload = self._read_body()
+        spec = payload.get("spec")
+        if not isinstance(spec, dict):
+            raise _ApiError(400, 'body must carry a "spec" object')
+        record = self.store.submit(
+            spec,
+            priority=int(payload.get("priority", 0)),
+            checkpoint_every=payload.get("checkpoint_every"),
+            max_retries=int(payload.get("max_retries", 2)),
+        )
+        self._send_json(201, self.store.describe(record.id))
+
+
+class JobApiServer:
+    """A threaded HTTP server over one job store.
+
+    Use as a context manager or call :meth:`start` / :meth:`shutdown`;
+    requests are served on a daemon thread so the scheduler loop can
+    keep running in the foreground.
+    """
+
+    def __init__(
+        self,
+        store: Union[JobStore, str],
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self.store = store if isinstance(store, JobStore) else JobStore(store)
+        self.httpd = ThreadingHTTPServer((host, port), _JobApiHandler)
+        self.httpd.store = self.store  # type: ignore[attr-defined]
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port resolved when 0 was requested."""
+        return self.httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "JobApiServer":
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "JobApiServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

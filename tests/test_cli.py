@@ -600,3 +600,107 @@ def test_missing_env_argument_exits():
 def test_parser_help_strings():
     parser = build_parser()
     assert parser.prog == "repro"
+
+
+def test_run_resume_soc_backend_clean_error(tmp_path, capsys):
+    """`repro run --resume` on a soc-backend run dir must be a one-line
+    friendly error (exit 2), not a traceback or a silent restart."""
+    run_dir = str(tmp_path / "socrun")
+    assert main([
+        "run", "CartPole-v0", "--backend", "soc", "--generations", "2",
+        "--population", "10", "--max-steps", "30", "--run-dir", run_dir,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["run", "--resume", run_dir]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "soc backend" in err
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_submit_jobs_job_round_trip(tmp_path, capsys):
+    root = str(tmp_path / "serve-root")
+    assert main([
+        "submit", "CartPole-v0", "--root", root, "--generations", "3",
+        "--population", "10", "--max-steps", "30", "--seed", "2",
+        "--checkpoint-every", "2", "--priority", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "job-000001 queued" in out
+    assert "priority 4" in out
+
+    assert main(["jobs", "--root", root]) == 0
+    out = capsys.readouterr().out
+    assert "job-000001" in out and "queued" in out
+
+    assert main(["job", "job-000001", "--root", root]) == 0
+    out = capsys.readouterr().out
+    assert "job-000001: queued" in out
+    assert "generations 0/3" in out
+
+    assert main(["job", "job-000001", "--root", root, "--events"]) == 0
+    assert "submitted" in capsys.readouterr().out
+
+
+def test_serve_until_idle_runs_submitted_jobs(tmp_path, capsys):
+    root = str(tmp_path / "serve-root")
+    for seed in ("1", "2"):
+        assert main([
+            "submit", "CartPole-v0", "--root", root, "--generations", "2",
+            "--population", "10", "--max-steps", "30", "--seed", seed,
+        ]) == 0
+    capsys.readouterr()
+    assert main([
+        "serve", root, "--workers", "2", "--until-idle", "--no-http",
+        "--poll-interval", "0.1", "--timeout", "300",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "scheduling jobs from" in out
+    assert main(["jobs", "--root", root]) == 0
+    listing = capsys.readouterr().out
+    assert listing.count(" done ") >= 2 or listing.count("done") >= 2
+    # --wait returns immediately on a terminal job
+    assert main(["job", "job-000001", "--root", root, "--wait"]) == 0
+    assert "job-000001: done" in capsys.readouterr().out
+
+
+def test_job_cancel_via_cli(tmp_path, capsys):
+    root = str(tmp_path / "serve-root")
+    assert main([
+        "submit", "CartPole-v0", "--root", root, "--generations", "2",
+        "--population", "10", "--max-steps", "30",
+    ]) == 0
+    capsys.readouterr()
+    assert main(["job", "job-000001", "--root", root, "--cancel"]) == 0
+    assert "cancelled" in capsys.readouterr().out
+    assert main(["job", "job-000001", "--root", root]) == 0
+    assert "job-000001: cancelled" in capsys.readouterr().out
+
+
+def test_serve_endpoint_flags_are_exclusive(tmp_path, capsys):
+    with pytest.raises(SystemExit, match="exactly one of"):
+        main(["jobs"])
+    with pytest.raises(SystemExit, match="exactly one of"):
+        main(["jobs", "--root", str(tmp_path), "--url", "http://x"])
+
+
+def test_job_unknown_id_clean_error(tmp_path, capsys):
+    root = str(tmp_path / "serve-root")
+    assert main([
+        "submit", "CartPole-v0", "--root", root, "--generations", "2",
+        "--population", "10", "--max-steps", "30",
+    ]) == 0
+    capsys.readouterr()
+    assert main(["job", "job-000099", "--root", root]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "job-000099" in err
+
+
+def test_submit_url_unreachable_clean_error(capsys):
+    assert main([
+        "submit", "CartPole-v0", "--url", "http://127.0.0.1:9",
+        "--generations", "2", "--population", "10",
+    ]) == 2
+    assert "cannot reach" in capsys.readouterr().err

@@ -1,0 +1,215 @@
+"""Run-directory locking and hard-kill durability tests.
+
+Two layers are under test here:
+
+* :class:`repro.runs.RunDirLock` — the exclusive on-disk claim: single
+  winner, heartbeat refresh, stale-claim reclaim, torn-file tolerance.
+* The hard-kill contract of the artifact layer (the satellite of the
+  resume guarantee): a worker SIGKILLed mid-write leaves at worst a torn
+  ``metrics.jsonl`` tail and a stale lock; a resume drops the torn tail,
+  rewinds to the checkpoint boundary, reclaims the lock and completes
+  **byte-identically** to a run that was never killed.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.runs import (
+    LOCK_FILENAME,
+    RunDir,
+    RunDirLock,
+    RunLockedError,
+    read_lock,
+    resume_run,
+    run_in_dir,
+)
+
+
+def test_lock_single_winner(tmp_path):
+    first = RunDirLock(tmp_path)
+    second = RunDirLock(tmp_path)
+    with first:
+        assert first.held
+        with pytest.raises(RunLockedError, match="claimed by pid"):
+            second.acquire()
+    # released: the claim file is gone and the loser can now win
+    assert not (tmp_path / LOCK_FILENAME).exists()
+    with second:
+        assert second.held
+
+
+def test_lock_payload_and_read_lock(tmp_path):
+    with RunDirLock(tmp_path):
+        payload = read_lock(tmp_path)
+        assert payload["pid"] == os.getpid()
+        assert payload["heartbeat_at"] >= payload["acquired_at"] - 1e-6
+    assert read_lock(tmp_path) is None
+
+
+def test_lock_reentry_is_an_error(tmp_path):
+    lock = RunDirLock(tmp_path)
+    with lock:
+        with pytest.raises(Exception, match="already held"):
+            lock.acquire()
+
+
+def test_heartbeat_refreshes_timestamp(tmp_path):
+    lock = RunDirLock(tmp_path, heartbeat_interval=0.05)
+    with lock:
+        before = read_lock(tmp_path)["heartbeat_at"]
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            if read_lock(tmp_path)["heartbeat_at"] > before:
+                break
+            time.sleep(0.02)
+        assert read_lock(tmp_path)["heartbeat_at"] > before
+
+
+def test_stale_lock_is_reclaimed(tmp_path):
+    tmp_path.mkdir(exist_ok=True)
+    (tmp_path / LOCK_FILENAME).write_text(json.dumps({
+        "pid": 999999999,
+        "host": "elsewhere",
+        "acquired_at": time.time() - 3600.0,
+        "heartbeat_at": time.time() - 3600.0,
+    }))
+    with RunDirLock(tmp_path, stale_after=5.0) as lock:
+        assert lock.held
+        assert read_lock(tmp_path)["pid"] == os.getpid()
+
+
+def test_dead_pid_on_this_host_is_stale_despite_fresh_heartbeat(tmp_path):
+    import socket
+
+    (tmp_path / LOCK_FILENAME).write_text(json.dumps({
+        "pid": 999999999,
+        "host": socket.gethostname(),
+        "acquired_at": time.time(),
+        "heartbeat_at": time.time(),
+    }))
+    with RunDirLock(tmp_path, stale_after=3600.0) as lock:
+        assert lock.held
+
+
+def test_torn_lock_file_is_stale(tmp_path):
+    (tmp_path / LOCK_FILENAME).write_text('{"pid": 12')  # torn mid-write
+    assert read_lock(tmp_path) is None
+    with RunDirLock(tmp_path) as lock:
+        assert lock.held
+
+
+def test_fresh_foreign_lock_is_not_stale(tmp_path):
+    (tmp_path / LOCK_FILENAME).write_text(json.dumps({
+        "pid": 1, "host": "elsewhere",
+        "acquired_at": time.time(), "heartbeat_at": time.time(),
+    }))
+    lock = RunDirLock(tmp_path, stale_after=3600.0)
+    assert not lock.is_stale()
+    with pytest.raises(RunLockedError):
+        lock.acquire()
+
+
+def test_run_in_dir_refuses_a_claimed_directory(tmp_path):
+    spec = ExperimentSpec("CartPole-v0", max_generations=2, pop_size=8,
+                          seed=0, max_steps=30)
+    with RunDirLock(tmp_path / "run"):
+        with pytest.raises(RunLockedError):
+            run_in_dir(spec, tmp_path / "run")
+
+
+def test_run_in_dir_releases_lock_on_completion(tmp_path):
+    spec = ExperimentSpec("CartPole-v0", max_generations=2, pop_size=8,
+                          seed=0, max_steps=30)
+    run_in_dir(spec, tmp_path / "run")
+    assert read_lock(tmp_path / "run") is None
+    assert not (tmp_path / "run" / LOCK_FILENAME).exists()
+
+
+# -- hard-kill durability ---------------------------------------------------
+
+_KILL_TARGET = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.runs import run_in_dir
+from repro.api import ExperimentSpec
+
+spec = ExperimentSpec.from_json({spec_json!r})
+# Slow each generation down so the parent can observe progress and land
+# its SIGKILL mid-run rather than after completion.
+run_in_dir(spec, {run_dir!r}, checkpoint_every=2,
+           on_generation=lambda m: time.sleep(0.1))
+"""
+
+
+@pytest.mark.slow
+def test_sigkill_mid_run_then_resume_is_byte_identical(tmp_path):
+    """Hard-kill a worker mid-write, append a torn metrics tail, resume:
+    the artifacts must come out byte-identical to an uninterrupted run
+    (torn-tail tolerance + checkpoint rewind + stale-lock reclaim)."""
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    spec = ExperimentSpec("CartPole-v0", max_generations=8, pop_size=12,
+                          seed=7, max_steps=40, fitness_threshold=1e9)
+    victim_dir = tmp_path / "victim"
+    script = _KILL_TARGET.format(
+        src=src, spec_json=spec.to_json(), run_dir=str(victim_dir)
+    )
+    proc = subprocess.Popen([sys.executable, "-c", script])
+    try:
+        metrics = victim_dir / "metrics.jsonl"
+        deadline = time.time() + 60.0
+        while time.time() < deadline:
+            if metrics.exists() and len(metrics.read_bytes().splitlines()) >= 3:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("worker never produced 3 metrics rows")
+        os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait()
+    assert proc.returncode == -signal.SIGKILL
+
+    # The kill leaves the claim behind: the lock must still be on disk
+    # (held by a now-dead pid) and must not block the resume below.
+    assert (victim_dir / LOCK_FILENAME).exists()
+
+    # Simulate the worst case the appender allows: a row torn mid-write.
+    with open(metrics, "a") as handle:
+        handle.write('{"generation": 99, "best_fi')
+
+    resumed = resume_run(victim_dir)
+    assert resumed.generations == spec.max_generations
+
+    reference_dir = tmp_path / "reference"
+    run_in_dir(spec, reference_dir, checkpoint_every=2)
+
+    victim_files = {
+        p.relative_to(victim_dir)
+        for p in victim_dir.rglob("*") if p.is_file()
+    }
+    reference_files = {
+        p.relative_to(reference_dir)
+        for p in reference_dir.rglob("*") if p.is_file()
+    }
+    assert victim_files == reference_files
+    for rel in sorted(victim_files):
+        assert (victim_dir / rel).read_bytes() == \
+            (reference_dir / rel).read_bytes(), f"{rel} diverged"
+
+
+def test_torn_metrics_tail_is_dropped_on_read(tmp_path):
+    rd = RunDir(tmp_path / "run")
+    rd.create()
+    rd.append_metrics({"generation": 0, "best_fitness": 1.0})
+    rd.append_metrics({"generation": 1, "best_fitness": 2.0})
+    with open(rd.metrics_path, "a") as handle:
+        handle.write('{"generation": 2, "best_f')
+    rows = rd.read_metrics()
+    assert [row["generation"] for row in rows] == [0, 1]

@@ -1,0 +1,124 @@
+"""HTTP API tests: routes, error codes, and the client round trip."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.serve import (
+    JobApiServer,
+    JobStore,
+    Scheduler,
+    ServeClient,
+    ServeClientError,
+)
+
+
+@pytest.fixture
+def served(tmp_path):
+    store = JobStore(tmp_path / "root")
+    with JobApiServer(store, port=0) as server:  # port 0: pick a free one
+        yield store, ServeClient(server.url)
+
+
+def spec_dict(**overrides):
+    defaults = dict(
+        env_id="CartPole-v0", max_generations=4, pop_size=12, seed=3,
+        max_steps=40,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults).to_dict()
+
+
+def test_healthz_counts_jobs_by_state(served):
+    store, client = served
+    health = client.healthz()
+    assert health["ok"] is True
+    assert all(count == 0 for count in health["jobs"].values())
+    store.submit(spec_dict())
+    assert client.healthz()["jobs"]["queued"] == 1
+
+
+def test_submit_and_list_round_trip(served):
+    _store, client = served
+    job = client.submit(spec_dict(), priority=5, checkpoint_every=2)
+    assert job["id"] == "job-000001"
+    assert job["state"] == "queued"
+    assert job["priority"] == 5
+    listed = client.jobs()
+    assert [j["id"] for j in listed] == ["job-000001"]
+    assert client.job("job-000001")["spec"]["env_id"] == "CartPole-v0"
+
+
+def test_submit_rejects_bad_bodies(served):
+    _store, client = served
+    with pytest.raises(ServeClientError) as excinfo:
+        client.submit({"env_id": ""})
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeClientError) as excinfo:
+        client._request("POST", "/jobs", {"no_spec": True})
+    assert excinfo.value.status == 400
+
+
+def test_unknown_job_and_route_are_404(served):
+    _store, client = served
+    for call in (
+        lambda: client.job("job-000042"),
+        lambda: client.metrics("job-000042"),
+        lambda: client.champion("job-000042"),
+        lambda: client.cancel("job-000042"),
+        lambda: client._request("GET", "/nonsense"),
+        lambda: client._request("GET", "/jobs/x/y/z"),
+    ):
+        with pytest.raises(ServeClientError) as excinfo:
+            call()
+        assert excinfo.value.status == 404
+
+
+def test_cancel_queued_job_over_http(served):
+    _store, client = served
+    job = client.submit(spec_dict())
+    cancelled = client.cancel(job["id"])
+    assert cancelled["state"] == "cancelled"
+
+
+def test_metrics_events_champion_after_run(served):
+    store, client = served
+    job = client.submit(spec_dict(), checkpoint_every=2)
+    Scheduler(store, workers=1, poll_interval=0.05).run_until_idle(
+        timeout=300
+    )
+    status = client.job(job["id"])
+    assert status["state"] == "done"
+    assert status["complete"] is True
+    rows = client.metrics(job["id"])
+    assert [row["generation"] for row in rows] == [0, 1, 2, 3]
+    assert client.metrics(job["id"], since=2)[0]["generation"] == 2
+    events = [row["event"] for row in client.events(job["id"])]
+    assert events[0] == "submitted"
+    assert events[-1] == "done"
+    champion = client.champion(job["id"])
+    assert "genome" in champion
+    # no champion yet for a queued job -> 404
+    fresh = client.submit(spec_dict(seed=8))
+    with pytest.raises(ServeClientError) as excinfo:
+        client.champion(fresh["id"])
+    assert excinfo.value.status == 404
+
+
+def test_raw_http_content_types(served):
+    store, client = served
+    job = client.submit(spec_dict())
+    base = client.base_url
+    with urllib.request.urlopen(f"{base}/jobs") as response:
+        assert response.headers["Content-Type"] == "application/json"
+        json.loads(response.read())
+    with urllib.request.urlopen(f"{base}/jobs/{job['id']}/metrics") as response:
+        assert response.headers["Content-Type"] == "application/x-ndjson"
+
+
+def test_client_connection_error_is_friendly(tmp_path):
+    client = ServeClient("http://127.0.0.1:9", timeout=0.5)
+    with pytest.raises(ServeClientError, match="cannot reach"):
+        client.healthz()

@@ -1,0 +1,229 @@
+"""Scheduler tests: preemption determinism, retries, cancel, reclaim.
+
+The centrepiece is the golden test the subsystem is built around: a job
+preempted at two different checkpoint boundaries and resumed each time
+must leave a run directory *byte-identical* — every file, including
+``metrics.jsonl``, ``champion.json``, ``result.json`` and all
+checkpoints — to a single uninterrupted :func:`repro.runs.run_in_dir`
+of the same spec, across the serial and pooled evaluation paths.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.runs import run_in_dir
+from repro.runs.locking import RunDirLock
+from repro.serve import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PREEMPTED,
+    QUEUED,
+    RUNNING,
+    JobStore,
+    Scheduler,
+)
+
+pytestmark = pytest.mark.slow
+
+
+def spec_for(**overrides):
+    defaults = dict(
+        env_id="CartPole-v0", max_generations=8, pop_size=16, seed=5,
+        max_steps=60,
+        # Keep the run from converging mid-test: preemption needs the
+        # full generation budget to exercise both boundaries.
+        fitness_threshold=1e9,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+def run_slice(scheduler, store, job_id):
+    """Dispatch one slice and reap its outcome (deterministically: the
+    worker is joined before the reap, so there is no polling race)."""
+    scheduler.step()
+    proc = scheduler._procs[job_id]
+    proc.join()
+    scheduler._reap()
+    return store.load(job_id)
+
+
+def tree_bytes(root):
+    root = Path(root)
+    return {
+        str(p.relative_to(root)): p.read_bytes()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+@pytest.mark.parametrize("workers", [1, 2], ids=["serial", "pool2"])
+def test_preempted_job_is_byte_identical_to_uninterrupted_run(
+    tmp_path, workers
+):
+    spec = spec_for(workers=workers)
+    store = JobStore(tmp_path / "root")
+    record = store.submit(spec, checkpoint_every=2)
+    scheduler = Scheduler(store, workers=1, poll_interval=0.05)
+
+    # Preempt at two successive checkpoint boundaries: the flag is set
+    # before dispatch, so each slice yields at its first boundary.
+    for expected_generation in (2, 4):
+        store.request_preempt(record.id)
+        state = run_slice(scheduler, store, record.id)
+        assert state.state == PREEMPTED
+        assert state.generations_done == expected_generation
+
+    scheduler.run_until_idle(timeout=300)
+    final = store.load(record.id)
+    assert final.state == DONE
+    assert final.generations_done == spec.max_generations
+
+    reference = tmp_path / "reference"
+    run_in_dir(spec, reference, checkpoint_every=2)
+    assert tree_bytes(store.run_dir(record.id).path) == tree_bytes(reference)
+
+    events = [row["event"] for row in store.read_events(record.id)]
+    assert events == [
+        "submitted",
+        "started", "preempted",
+        "resumed", "preempted",
+        "resumed", "done",
+    ]
+
+
+def test_higher_priority_submission_preempts_running_job(tmp_path):
+    """The end-to-end scheduling story: with one worker slot occupied by
+    a low-priority job, a high-priority submission forces a preemption
+    at the next checkpoint boundary, runs to completion first, and the
+    victim then resumes and completes."""
+    store = JobStore(tmp_path / "root")
+    low = store.submit(spec_for(max_generations=6), checkpoint_every=2)
+    scheduler = Scheduler(store, workers=1, poll_interval=0.02)
+    scheduler.step()
+    assert store.load(low.id).state == RUNNING
+
+    high = store.submit(
+        spec_for(max_generations=2, seed=9), priority=10, checkpoint_every=2
+    )
+    scheduler.run_until_idle(timeout=300)
+
+    assert store.load(low.id).state == DONE
+    assert store.load(high.id).state == DONE
+    low_events = [row["event"] for row in store.read_events(low.id)]
+    assert "preempt_requested" in low_events
+    assert "preempted" in low_events
+    assert "resumed" in low_events
+    # The challenger finished while the victim was parked.
+    preempted_at = min(
+        row["ts"] for row in store.read_events(low.id)
+        if row["event"] == "preempted"
+    )
+    high_done_at = max(
+        row["ts"] for row in store.read_events(high.id)
+        if row["event"] == "done"
+    )
+    low_done_at = max(
+        row["ts"] for row in store.read_events(low.id)
+        if row["event"] == "done"
+    )
+    assert preempted_at < high_done_at < low_done_at
+
+
+def test_failed_job_retries_with_backoff_then_fails(tmp_path):
+    store = JobStore(tmp_path / "root")
+    # An unknown environment passes spec validation but dies at runtime.
+    record = store.submit(
+        {"env_id": "NoSuchEnv-v0", "max_generations": 2, "pop_size": 4},
+        max_retries=1,
+    )
+    scheduler = Scheduler(
+        store, workers=1, poll_interval=0.02, backoff_base=0.05
+    )
+    state = run_slice(scheduler, store, record.id)
+    assert state.state == QUEUED  # first failure: requeued with backoff
+    assert state.attempts == 1
+    assert state.not_before > time.time() - 1.0
+    assert "NoSuchEnv-v0" in state.error
+
+    scheduler.run_until_idle(timeout=60)
+    final = store.load(record.id)
+    assert final.state == FAILED
+    assert final.attempts == 2
+    events = [row["event"] for row in store.read_events(record.id)]
+    assert "retry_scheduled" in events
+    assert events[-1] == "failed"
+
+
+def test_cancel_running_job_lands_at_checkpoint_boundary(tmp_path):
+    store = JobStore(tmp_path / "root")
+    record = store.submit(spec_for(), checkpoint_every=2)
+    scheduler = Scheduler(store, workers=1, poll_interval=0.02)
+    scheduler.step()
+    store.request_cancel(record.id)
+    scheduler.run_until_idle(timeout=300)
+    final = store.load(record.id)
+    assert final.state == CANCELLED
+    # It stopped at a cadence boundary, not wherever the flag landed.
+    assert final.generations_done % 2 == 0
+    assert final.generations_done < spec_for().max_generations
+    assert not store.cancel_requested(record.id)
+
+
+def test_reclaim_requeues_job_with_stale_lock(tmp_path):
+    store = JobStore(tmp_path / "root")
+    record = store.submit(spec_for())
+    # Simulate a scheduler that died mid-run: the record says running,
+    # no worker exists here, and the run-dir lock heartbeat is ancient.
+    store.transition(record.id, RUNNING, worker_pid=1)
+    rd = store.run_dir(record.id)
+    rd.create()
+    (rd.path / "run.lock").write_text(json.dumps({
+        "pid": 999999999,  # no such process
+        "host": os.uname().nodename,
+        "acquired_at": time.time() - 3600.0,
+        "heartbeat_at": time.time() - 3600.0,
+    }))
+
+    scheduler = Scheduler(store, workers=1, poll_interval=0.02,
+                          stale_after=5.0)
+    scheduler._reclaim(store.list_jobs())
+    assert store.load(record.id).state == QUEUED
+    events = [row["event"] for row in store.read_events(record.id)]
+    assert "reclaimed" in events
+
+
+def test_reclaim_leaves_live_lock_alone(tmp_path):
+    store = JobStore(tmp_path / "root")
+    record = store.submit(spec_for())
+    store.transition(record.id, RUNNING, worker_pid=os.getpid())
+    rd = store.run_dir(record.id)
+    rd.create()
+    with RunDirLock(rd.path):  # fresh heartbeat, live pid
+        scheduler = Scheduler(store, workers=1, stale_after=60.0)
+        scheduler._reclaim(store.list_jobs())
+        assert store.load(record.id).state == RUNNING
+
+
+def test_soc_jobs_run_but_are_never_preemption_victims(tmp_path):
+    store = JobStore(tmp_path / "root")
+    soc = store.submit(
+        ExperimentSpec("CartPole-v0", backend="soc", max_generations=2,
+                       pop_size=10, seed=3, max_steps=40),
+    )
+    scheduler = Scheduler(store, workers=1, poll_interval=0.05)
+    # A high-priority challenger appears while the soc job runs; the
+    # scheduler must not flag the soc job (it cannot resume).
+    scheduler.step()
+    challenger = store.submit(spec_for(max_generations=2), priority=99)
+    scheduler._maybe_preempt(store.list_jobs())
+    assert not store.preempt_requested(soc.id)
+    scheduler.run_until_idle(timeout=300)
+    assert store.load(soc.id).state == DONE
+    assert store.load(challenger.id).state == DONE
