@@ -247,6 +247,12 @@ def _run_software_loop(
                 inference_macs=macs,
             )
             if collect:
+                # The batched evaluator levelises every genome anyway, so
+                # reuse its depths (exactly the feed_forward_layers counts
+                # _mean_depth would re-derive) when they are available.
+                depth = getattr(evaluator, "last_mean_depth", None)
+                if depth is None:
+                    depth = _mean_depth(snapshot, config.genome)
                 workload = GenerationWorkload(
                     generation=stats.generation,
                     population=stats.population_size,
@@ -255,7 +261,7 @@ def _run_software_loop(
                     ops=stats.ops,
                     env_steps=env_steps,
                     inference_macs=macs,
-                    mean_network_depth=_mean_depth(snapshot, config.genome),
+                    mean_network_depth=depth,
                     fittest_parent_reuse=stats.fittest_parent_reuse,
                 )
                 out.workloads.append(workload)
@@ -485,7 +491,8 @@ class SoCBackend:
                  eve_pes: Optional[int] = None,
                  noc: Optional[str] = None,
                  scheduler: Optional[str] = None,
-                 adam_shape: Optional[str] = None) -> None:
+                 adam_shape: Optional[str] = None,
+                 vectorize: Optional[bool] = None) -> None:
         if arg:
             raise UnknownBackendError(
                 f"the soc backend takes no ':{arg}' parameter"
@@ -510,6 +517,10 @@ class SoCBackend:
         self.adam_shape = (
             _parse_adam_shape(adam_shape) if adam_shape is not None else None
         )
+        # Population-batched evaluation is the default; the flag is an
+        # escape hatch (and the bench's serial baseline).  Both paths are
+        # bit-identical, so the choice never shows up in spec/cache keys.
+        self.vectorize = True if vectorize is None else bool(vectorize)
 
     def _resolve_config(self, spec: ExperimentSpec) -> GeneSysConfig:
         neat_config = config_for_env(
@@ -579,7 +590,8 @@ class SoCBackend:
         # no Population object to snapshot, so the observer never fires.
         config = self._resolve_config(spec)
         soc = GeneSysSoC(
-            config, spec.env_id, episodes=spec.episodes, max_steps=spec.max_steps
+            config, spec.env_id, episodes=spec.episodes,
+            max_steps=spec.max_steps, vectorize=self.vectorize,
         )
         threshold = config.neat.fitness_threshold
         metrics: List[GenerationMetrics] = []

@@ -17,12 +17,20 @@ contiguous slice of the population into stacked dense plans
 lockstep, so large populations batch *within* processes while sharding
 *across* them.  Seeds still come from the parent with the serial
 formula, so all four paths (serial/pooled × scalar/numpy) agree.
+
+``task_transport="shm"`` additionally moves the per-generation genome
+payload out of the pool's task pipe: chunks are staged once in a
+shared-memory segment and workers unpickle them in place (see
+:data:`TASK_TRANSPORTS`).  Transport changes how bytes travel, never
+what is computed — fitnesses stay bit-identical.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, List, Optional, Tuple, Union
+import os
+import pickle
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from ..envs.evaluate import EvaluationTotals, FitnessEvaluator, run_episode
 from ..envs.registry import make
@@ -32,6 +40,30 @@ from ..neat.config import NEATConfig
 from ..neat.genome import Genome
 from ..neat.network import FeedForwardNetwork
 from .spec import VECTORIZERS
+
+#: How tasks travel from the parent to pool workers.  ``pickle`` is the
+#: classic ``pool.map`` argument path (each chunk pickled into the task
+#: pipe); ``shm`` stages the pickled chunks in one
+#: :class:`multiprocessing.shared_memory.SharedMemory` segment per
+#: generation, so only tiny ``(name, offset, length)`` descriptors cross
+#: the pipe and workers deserialize straight out of the mapping —
+#: zero-copy transport for large populations.  The default comes from the
+#: ``REPRO_TASK_TRANSPORT`` environment variable (``pickle`` if unset);
+#: results are bit-identical either way.
+TASK_TRANSPORTS = ("pickle", "shm")
+TASK_TRANSPORT_ENV_VAR = "REPRO_TASK_TRANSPORT"
+
+
+def _resolve_task_transport(task_transport: Optional[str]) -> str:
+    if task_transport is None:
+        task_transport = os.environ.get(TASK_TRANSPORT_ENV_VAR) or "pickle"
+    if task_transport not in TASK_TRANSPORTS:
+        raise ValueError(
+            f"unknown task transport {task_transport!r}; "
+            f"known: {TASK_TRANSPORTS}"
+        )
+    return task_transport
+
 
 # Per-worker state, populated by the pool initializer: one env per
 # process, plus the genome config (shipped once, not once per task).
@@ -89,6 +121,54 @@ def _evaluate_chunk_vectorized(chunk) -> List[Tuple[int, List[float], int, int]]
     )
 
 
+def _attach_untracked(name: str):
+    """Attach to an existing shared-memory segment without registering it
+    with the resource tracker.
+
+    The parent owns the segment's lifetime (it unlinks after the map);
+    attach-side registration would make worker trackers warn about an
+    already-unlinked "leak" — or, when the tracker is shared across the
+    fork, double-unregister the parent's entry.  Python 3.13 exposes
+    ``track=False`` for exactly this; earlier versions need the register
+    call shimmed out for the duration of the attach.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *_args, **_kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _evaluate_chunk_shm(descriptor) -> List[Tuple[int, List[float], int, int]]:
+    """Deserialize one chunk straight out of shared memory and run it.
+
+    ``descriptor`` is ``(segment_name, offset, length, vectorized)``; the
+    pickled chunk is read through a memoryview of the mapping (no copy
+    into the task pipe, no intermediate bytes object).
+    """
+    name, offset, length, vectorized = descriptor
+    segment = _attach_untracked(name)
+    try:
+        view = segment.buf[offset : offset + length]
+        try:
+            chunk = pickle.loads(view)
+        finally:
+            del view  # release the exported view so close() can unmap
+    finally:
+        segment.close()
+    if vectorized:
+        return _evaluate_chunk_vectorized(chunk)
+    return [_evaluate_genome(task) for task in chunk]
+
+
 class ParallelFitnessEvaluator:
     """Drop-in replacement for :class:`FitnessEvaluator` using a pool.
 
@@ -108,6 +188,7 @@ class ParallelFitnessEvaluator:
         workers: int = 2,
         vectorizer: str = "scalar",
         start_generation: int = 0,
+        task_transport: Optional[str] = None,
     ) -> None:
         if workers < 2:
             raise ValueError("ParallelFitnessEvaluator needs workers >= 2; "
@@ -116,6 +197,7 @@ class ParallelFitnessEvaluator:
             raise ValueError(
                 f"unknown vectorizer {vectorizer!r}; known: {VECTORIZERS}"
             )
+        self.task_transport = _resolve_task_transport(task_transport)
         self.env_id = env_id
         self.episodes = episodes
         self.max_steps = max_steps
@@ -154,23 +236,66 @@ class ParallelFitnessEvaluator:
             for episode in range(self.episodes)
         ]
 
+    def _chunks(self, tasks: List) -> List[List]:
+        """Contiguous slices, one per worker — the numpy-vectorizer and
+        shared-memory paths shard identically, so outcomes concatenate
+        back in input order."""
+        bounds = [
+            (len(tasks) * w) // self.workers for w in range(self.workers + 1)
+        ]
+        return [tasks[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if lo < hi]
+
+    def _map_via_shared_memory(self, pool, tasks: List):
+        """Ship task chunks through one shared-memory segment.
+
+        The chunks are pickled once into a single mapping; workers get
+        ``(name, offset, length, vectorized)`` descriptors and unpickle
+        in place, so the per-generation genome payload never rides the
+        pool's task pipe.  The segment lives only for the duration of
+        the map (unlinked in the parent once results are back).
+        """
+        from multiprocessing import shared_memory
+
+        chunks = self._chunks(tasks)
+        blobs = [
+            pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
+            for chunk in chunks
+        ]
+        total = sum(len(blob) for blob in blobs)
+        segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+        try:
+            descriptors = []
+            offset = 0
+            vectorized = self.vectorizer == "numpy"
+            for blob in blobs:
+                segment.buf[offset : offset + len(blob)] = blob
+                descriptors.append(
+                    (segment.name, offset, len(blob), vectorized)
+                )
+                offset += len(blob)
+            chunk_results = pool.map(_evaluate_chunk_shm, descriptors)
+        finally:
+            segment.close()
+            segment.unlink()
+        return [
+            outcome for chunk_result in chunk_results for outcome in chunk_result
+        ]
+
     def __call__(self, genomes: List[Genome], config: NEATConfig) -> None:
         pool = self._ensure_pool(config.genome)
         tasks = [
             (genome, self._episode_seeds(genome)) for genome in genomes
         ]
-        if self.vectorizer == "numpy":
+        if self.task_transport == "shm":
+            outcomes = self._map_via_shared_memory(pool, tasks)
+        elif self.vectorizer == "numpy":
             # Contiguous slices, one per worker: each slice is compiled,
             # stacked and rolled out in lockstep inside its process.
-            bounds = [
-                (len(tasks) * w) // self.workers for w in range(self.workers + 1)
-            ]
-            chunks = [
-                tasks[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if lo < hi
-            ]
             outcomes = [
                 outcome
-                for chunk_result in pool.map(_evaluate_chunk_vectorized, chunks)
+                for chunk_result in pool.map(
+                    _evaluate_chunk_vectorized, self._chunks(tasks)
+                )
                 for outcome in chunk_result
             ]
         else:
@@ -190,10 +315,13 @@ class ParallelFitnessEvaluator:
         self._generation += 1
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        """Release the pool; idempotent (safe to call repeatedly, and
+        after ``__del__`` already tore the pool down)."""
+        pool, self._pool = self._pool, None
+        self._pool_genome_config = None
+        if pool is not None:
+            pool.close()
+            pool.join()
 
     def __enter__(self) -> "ParallelFitnessEvaluator":
         return self
@@ -203,8 +331,12 @@ class ParallelFitnessEvaluator:
 
     def __del__(self) -> None:  # best-effort; close() is the real API
         try:
-            if self._pool is not None:
-                self._pool.terminate()
+            # terminate() alone leaves zombie processes (and leaked
+            # semaphores) until the parent exits; join() reaps them.
+            pool, self._pool = getattr(self, "_pool", None), None
+            if pool is not None:
+                pool.terminate()
+                pool.join()
         except Exception:
             pass
 
@@ -218,6 +350,7 @@ def build_evaluator(
     workers: int = 1,
     vectorizer: str = "scalar",
     start_generation: int = 0,
+    task_transport: Optional[str] = None,
 ) -> Union[FitnessEvaluator, ParallelFitnessEvaluator, BatchedEvaluator]:
     """The evaluator for a (workers, vectorizer) combination.
 
@@ -230,6 +363,10 @@ def build_evaluator(
     so a run resumed from a checkpoint replays the exact episode-seed
     stream the uninterrupted run would have seen (every evaluator
     derives seeds through :func:`repro.envs.seeding.episode_seed`).
+
+    ``task_transport`` selects how pooled workers receive their tasks
+    (see :data:`TASK_TRANSPORTS`); it only applies to ``workers>1`` and
+    defaults to the ``REPRO_TASK_TRANSPORT`` environment variable.
     """
     if vectorizer not in VECTORIZERS:
         raise ValueError(
@@ -254,4 +391,5 @@ def build_evaluator(
         workers=workers,
         vectorizer=vectorizer,
         start_generation=start_generation,
+        task_transport=task_transport,
     )

@@ -24,10 +24,15 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..envs.base import Environment
-from ..envs.evaluate import action_from_outputs
+from ..envs.evaluate import action_from_outputs, run_episodes_batched
 from ..envs.registry import make
 from ..envs.seeding import derive_seed
-from ..hw.adam import ADAM, InferenceStats, build_inference_plan
+from ..hw.adam import (
+    ADAM,
+    InferenceStats,
+    StackedAdamEnvelope,
+    build_inference_plan,
+)
 from ..hw.energy import EnergyLedger, cycles_to_seconds
 from ..hw.eve import EvolutionEngine, EvolutionResult
 from ..hw.gene_encoding import decode_genome, encode_genome
@@ -76,11 +81,19 @@ class GeneSysSoC:
         env_id: str,
         episodes: int = 1,
         max_steps: Optional[int] = None,
+        vectorize: bool = True,
     ) -> None:
         self.config = config
         self.env_id = env_id
         self.episodes = episodes
         self.max_steps = max_steps
+        #: Population-batched evaluation: functional rollouts run as
+        #: lockstep numpy lanes (:mod:`repro.neat.compiled`) and the ADAM
+        #: counters are charged through one
+        #: :class:`repro.hw.adam.StackedAdamEnvelope` — bit-identical to
+        #: the serial per-genome walk, just vectorised.
+        self.vectorize = vectorize
+        self._env_batch = None
         self.buffer = GenomeBuffer(config.sram)
         self.adam = ADAM(config.adam)
         eve_config = config.eve
@@ -106,6 +119,19 @@ class GeneSysSoC:
 
     def evaluate_population(self) -> int:
         """Run every genome against the environment; returns env steps."""
+        if self.vectorize:
+            return self._evaluate_population_batched()
+        return self._evaluate_population_serial()
+
+    def _episode_seed(self, key: int, episode: int) -> int:
+        # The one canonical SoC derivation — serial and batched paths
+        # must see identical episode streams.
+        return derive_seed(
+            self.config.seed,
+            (self.generation * 1_000_003 + key) * 17 + episode,
+        )
+
+    def _evaluate_population_serial(self) -> int:
         env = make(self.env_id)
         genome_cfg = self.config.neat.genome
         total_steps = 0
@@ -117,18 +143,99 @@ class GeneSysSoC:
             plan = build_inference_plan(resident, genome_cfg)
             rewards = []
             for episode in range(self.episodes):
-                env.seed(
-                    derive_seed(
-                        self.config.seed,
-                        (self.generation * 1_000_003 + key) * 17 + episode,
-                    )
-                )
+                env.seed(self._episode_seed(key, episode))
                 rewards.append(self._run_episode(plan, env))
+                total_steps += self._episode_steps
             fitness = sum(rewards) / len(rewards)
             # Step 6: fitness augmented to the genome in SRAM.
             self.buffer.set_fitness(key, fitness)
             genome.fitness = fitness
-            total_steps += self._episode_steps
+        return total_steps
+
+    def _evaluate_population_batched(self) -> int:
+        """Steps 1-6 for the whole population at once.
+
+        Functional rollouts go through the compiled lockstep lanes
+        (:mod:`repro.neat.compiled`) — every (genome, episode) pair is a
+        lane of one batched environment — while the hardware counters are
+        charged exactly through a :class:`StackedAdamEnvelope` (per-pass
+        costs are static per plan, so cost = per-pass x steps in pure
+        integer arithmetic).  Genomes the dense compiler cannot express
+        fall back to the serial ADAM walk on the same seeds.
+        """
+        from ..neat.compiled import CompileError, StackedPlans, compile_network
+
+        genome_cfg = self.config.neat.genome
+        keys = sorted(self.population)
+        plans = {}
+        compiled = {}
+        for key in keys:
+            # Step 1: genomes are read from the buffer and mapped on ADAM.
+            stream = self.buffer.read_genome(key)
+            resident = decode_genome(stream, key, genome_cfg)
+            plans[key] = build_inference_plan(resident, genome_cfg)
+            try:
+                compiled[key] = compile_network(resident, genome_cfg)
+            except CompileError:
+                pass
+
+        rewards_by_key: Dict[int, List[float]] = {}
+        steps_by_key: Dict[int, List[int]] = {}
+        batched_keys = [k for k in keys if k in compiled]
+        if batched_keys:
+            if self._env_batch is None:
+                from ..envs.batched import make_batched
+
+                self._env_batch = make_batched(self.env_id)
+            stacked = StackedPlans([compiled[k] for k in batched_keys])
+            lane_plans: List[int] = []
+            lane_seeds: List[int] = []
+            for slot, key in enumerate(batched_keys):
+                for episode in range(self.episodes):
+                    lane_plans.append(slot)
+                    lane_seeds.append(self._episode_seed(key, episode))
+            episodes = run_episodes_batched(
+                stacked.lane_runner(lane_plans),
+                self._env_batch,
+                lane_seeds,
+                max_steps=self.max_steps,
+            )
+            cursor = 0
+            for key in batched_keys:
+                lane_results = episodes[cursor : cursor + self.episodes]
+                cursor += self.episodes
+                rewards_by_key[key] = [r.total_reward for r in lane_results]
+                steps_by_key[key] = [r.steps for r in lane_results]
+            # Steps 2-5 cost accounting: every env step is one forward
+            # pass of that genome's plan.
+            envelope = StackedAdamEnvelope(
+                [plans[k] for k in batched_keys], self.adam.config
+            )
+            envelope.charge(
+                self.adam.stats, [sum(steps_by_key[k]) for k in batched_keys]
+            )
+
+        fallback_keys = [k for k in keys if k not in compiled]
+        if fallback_keys:
+            env = make(self.env_id)
+            for key in fallback_keys:
+                rewards: List[float] = []
+                steps: List[int] = []
+                for episode in range(self.episodes):
+                    env.seed(self._episode_seed(key, episode))
+                    rewards.append(self._run_episode(plans[key], env))
+                    steps.append(self._episode_steps)
+                rewards_by_key[key] = rewards
+                steps_by_key[key] = steps
+
+        total_steps = 0
+        for key in keys:
+            rewards = rewards_by_key[key]
+            fitness = sum(rewards) / len(rewards)
+            # Step 6: fitness augmented to the genome in SRAM.
+            self.buffer.set_fitness(key, fitness)
+            self.population[key].fitness = fitness
+            total_steps += sum(steps_by_key[key])
         return total_steps
 
     def _run_episode(self, plan, env: Environment) -> float:

@@ -243,6 +243,11 @@ class TraceRecorder:
                 macs = evaluator.totals.macs - prev_macs
                 prev_steps = evaluator.totals.steps
                 prev_macs = evaluator.totals.macs
+                # Reuse the batched evaluator's levelisation by-product
+                # when it ran; identical to re-deriving per genome.
+                depth = getattr(evaluator, "last_mean_depth", None)
+                if depth is None:
+                    depth = _mean_depth(pop_snapshot, self.config.genome)
                 trace.workloads.append(
                     GenerationWorkload(
                         generation=stats.generation,
@@ -252,9 +257,7 @@ class TraceRecorder:
                         ops=stats.ops,
                         env_steps=env_steps,
                         inference_macs=macs,
-                        mean_network_depth=_mean_depth(
-                            pop_snapshot, self.config.genome
-                        ),
+                        mean_network_depth=depth,
                         fittest_parent_reuse=stats.fittest_parent_reuse,
                     )
                 )

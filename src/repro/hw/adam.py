@@ -176,6 +176,80 @@ def build_inference_plan(genome: Genome, config: GenomeConfig) -> InferencePlan:
     )
 
 
+class StackedAdamEnvelope:
+    """A population's inference plans stacked into one cost envelope.
+
+    The serial :meth:`ADAM.run` charges cycles wave by wave, once per
+    forward pass per genome — a Python loop over every (genome, step,
+    wave) triple.  Because the plans do not change within a generation,
+    every per-pass cost is static: this envelope stacks the population's
+    wave shapes into ``(genomes, depth)`` integer arrays and evaluates
+    the same systolic-tiling formula with numpy array ops, so a whole
+    generation is costed in a handful of vectorised expressions.
+
+    The arithmetic is integer end to end, therefore *exactly* equal to
+    the serial accounting: ``charge(stats, passes)`` merges the same
+    totals :meth:`ADAM.run` would have accumulated had it executed
+    ``passes[g]`` forward passes of genome ``g``.
+    """
+
+    def __init__(
+        self, plans: Sequence[InferencePlan], config: Optional[ADAMConfig] = None
+    ) -> None:
+        self.config = config or ADAMConfig()
+        self.plans = list(plans)
+        num = len(self.plans)
+        depth = max((len(p.waves) for p in self.plans), default=0)
+        shape = (num, max(1, depth))
+        m = np.zeros(shape, dtype=np.int64)  # vertices updated per wave
+        k = np.zeros(shape, dtype=np.int64)  # distinct sources per wave
+        macs = np.zeros(shape, dtype=np.int64)
+        dense = np.zeros(shape, dtype=np.int64)
+        for g, plan in enumerate(self.plans):
+            for l, wave in enumerate(plan.waves):
+                m[g, l] = len(wave.node_ids)
+                k[g, l] = len(wave.source_ids)
+                macs[g, l] = wave.macs
+                dense[g, l] = wave.dense_macs
+        rows, cols = self.config.rows, self.config.cols
+        # Output-stationary tiling, identical to ADAM.systolic_cycles;
+        # padded slots have m == k == 0 and so tile to zero cycles.
+        row_tiles = -(-m // rows)
+        col_tiles = -(-k // cols)
+        wave_cycles = row_tiles * col_tiles * (np.minimum(cols, k) + rows)
+        #: Per genome: systolic array cycles for one forward pass.
+        self.array_cycles_per_pass = wave_cycles.sum(axis=1)
+        #: Per genome: CPU vectorize cycles (one per packed element).
+        self.vectorize_cycles_per_pass = k.sum(axis=1)
+        self.macs_per_pass = macs.sum(axis=1)
+        self.dense_macs_per_pass = dense.sum(axis=1)
+        self.waves_per_pass = np.array(
+            [len(p.waves) for p in self.plans], dtype=np.int64
+        )
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def charge(self, stats: InferenceStats, passes: Sequence[int]) -> None:
+        """Merge the cost of ``passes[g]`` forward passes per genome.
+
+        Bit-identical to running :meth:`ADAM.run` that many times per
+        plan: every counter is a per-pass integer scaled by an integer
+        pass count.
+        """
+        p = np.asarray(passes, dtype=np.int64)
+        if p.shape != (len(self.plans),):
+            raise ValueError(
+                f"expected {len(self.plans)} pass counts, got shape {p.shape}"
+            )
+        stats.passes += int(p.sum())
+        stats.macs += int((self.macs_per_pass * p).sum())
+        stats.dense_macs += int((self.dense_macs_per_pass * p).sum())
+        stats.array_cycles += int((self.array_cycles_per_pass * p).sum())
+        stats.vectorize_cycles += int((self.vectorize_cycles_per_pass * p).sum())
+        stats.waves += int((self.waves_per_pass * p).sum())
+
+
 class ADAM:
     """The systolic inference engine."""
 

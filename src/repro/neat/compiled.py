@@ -431,12 +431,25 @@ class LaneRunner:
 # population-level batched evaluation
 
 
+def _levelised_depth(genome: Genome, config: GenomeConfig) -> int:
+    """Waves per forward pass — :func:`repro.core.trace._mean_depth`'s
+    per-genome term, for genomes that did not compile."""
+    enabled = [k for k, c in genome.connections.items() if c.enabled]
+    try:
+        return len(
+            feed_forward_layers(config.input_keys, config.output_keys, enabled)
+        )
+    except ValueError:
+        return 1
+
+
 def evaluate_genomes_batched(
     tasks: Sequence[Tuple[Genome, Sequence[int]]],
     genome_config: GenomeConfig,
     env_batch,
     max_steps: Optional[int] = None,
     scalar_env=None,
+    plan_info: Optional[Dict] = None,
 ) -> List[Tuple[int, List[float], int, int]]:
     """Evaluate ``(genome, episode_seeds)`` tasks through stacked plans.
 
@@ -445,6 +458,11 @@ def evaluate_genomes_batched(
     serial, pooled and vectorized evaluation all assemble fitnesses
     identically.  Genomes that fail to compile (exotic aggregation or
     activation) are evaluated with the scalar network on the same seeds.
+
+    ``plan_info``, when given a dict, receives ``{"depths": {genome_key:
+    levelised depth}}`` as a by-product of compilation, so analytical
+    cost models can reuse the levelisation instead of re-deriving it per
+    genome (the depths are the exact ``feed_forward_layers`` counts).
     """
     # Imported here: repro.envs modules import repro.neat submodules, so
     # a module-level import would be circular when this file is loaded
@@ -457,6 +475,16 @@ def evaluate_genomes_batched(
             plans.append(compile_network(genome, genome_config))
         except CompileError:
             plans.append(None)
+
+    if plan_info is not None:
+        plan_info["depths"] = {
+            genome.key: (
+                len(plan.layers)
+                if plan is not None
+                else _levelised_depth(genome, genome_config)
+            )
+            for (genome, _seeds), plan in zip(tasks, plans)
+        }
 
     results: List[Optional[Tuple[int, List[float], int, int]]] = [None] * len(tasks)
 
@@ -543,6 +571,11 @@ class BatchedEvaluator:
         self.seed = seed
         self.fitness_transform = fitness_transform
         self.totals = EvaluationTotals()
+        #: Mean levelised depth of the last evaluated generation — the
+        #: ``feed_forward_layers`` counts fall out of compilation, so
+        #: analytical cost models can read this instead of re-levelising
+        #: every genome (None until the first call).
+        self.last_mean_depth: Optional[float] = None
         # Episode seeds derive from the generation index, so a resumed
         # run must restart the counter where the checkpoint left off.
         self._generation = start_generation
@@ -563,8 +596,14 @@ class BatchedEvaluator:
 
             self._env_batch = make_batched(self.env_id)
         tasks = [(genome, self._episode_seeds(genome)) for genome in genomes]
+        plan_info: Dict = {}
         outcomes = evaluate_genomes_batched(
-            tasks, config.genome, self._env_batch, max_steps=self.max_steps
+            tasks, config.genome, self._env_batch, max_steps=self.max_steps,
+            plan_info=plan_info,
+        )
+        depths = plan_info.get("depths")
+        self.last_mean_depth = (
+            sum(depths.values()) / len(depths) if depths else None
         )
         for genome, (key, rewards, steps, macs) in zip(genomes, outcomes):
             if key != genome.key:

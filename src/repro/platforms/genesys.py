@@ -76,6 +76,30 @@ class GenesysPlatform(Platform):
         )
         return PhaseCost(runtime_s=runtime, energy_j=energy, transfer_s=transfer)
 
+    def inference_cost_from_envelope(self, envelope, passes) -> PhaseCost:
+        """Inference cost from a stacked ADAM envelope, exactly.
+
+        :meth:`inference_cost` approximates the array time from workload
+        aggregates (mean depth x mean steps); this variant consumes a
+        :class:`repro.hw.adam.StackedAdamEnvelope` — per-genome integer
+        per-pass cycle costs — plus per-genome forward-pass counts, so
+        the cycle count is the cycle-level simulator's, not an estimate.
+        Build the envelope with this platform's ADAM shape
+        (``ADAMConfig(rows=adam_rows, cols=adam_cols)``) for the costs to
+        correspond.
+        """
+        import numpy as np
+
+        p = np.asarray(passes, dtype=np.int64)
+        array_cycles = int((envelope.array_cycles_per_pass * p).sum())
+        vectorize_cycles = int((envelope.vectorize_cycles_per_pass * p).sum())
+        macs = int((envelope.macs_per_pass * p).sum())
+        compute = (array_cycles + vectorize_cycles) / self.frequency_hz
+        transfer = compute * ONCHIP_TRANSFER_FRACTION / (1 - ONCHIP_TRANSFER_FRACTION)
+        runtime = compute + transfer
+        energy = macs * ADAM_MAC_ENERGY_PJ * 1e-12 + runtime * _ACTIVE_POWER_W
+        return PhaseCost(runtime_s=runtime, energy_j=energy, transfer_s=transfer)
+
     # -- evolution --------------------------------------------------------
 
     def evolution_cost(self, workload: GenerationWorkload) -> PhaseCost:

@@ -26,8 +26,10 @@ GET    ``/jobs/<id>/events``        the job's event log as ndjson
 GET    ``/jobs/<id>/champion``      current champion genome JSON
 ====== ============================ ========================================
 
-Errors come back as ``{"error": "..."}`` with 400 (bad request),
-404 (unknown job/route) or 405 (wrong method).
+Errors come back as ``{"error": "..."}`` with 400 (bad request,
+including malformed query parameters such as ``?since=abc``),
+404 (unknown job/route) or 405 (wrong method) — see the error-semantics
+table in ``docs/serve.md``.
 """
 
 from __future__ import annotations
@@ -52,6 +54,23 @@ class _ApiError(Exception):
         super().__init__(message)
         self.status = status
         self.message = message
+
+
+def _query_int(params: Dict[str, Any], name: str, default: int) -> int:
+    """An integer request parameter, or 400 with the structured error body.
+
+    Every int-typed parameter (query string or JSON body) must come
+    through here: a bare ``int()`` on client-controlled input raises
+    ValueError out of the handler, and the server 500s with a traceback
+    instead of the documented ``{"error": ...}`` shape.
+    """
+    raw = params.get(name, default)
+    try:
+        return int(raw)
+    except (TypeError, ValueError):
+        raise _ApiError(
+            400, f"parameter {name!r} must be an integer, got {raw!r}"
+        ) from None
 
 
 class _JobApiHandler(BaseHTTPRequestHandler):
@@ -141,14 +160,21 @@ class _JobApiHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)})
 
     def _get_healthz(self) -> None:
+        # "other" absorbs states this server version does not know (a
+        # job.json written by a newer repro) — health must never 500
+        # over an unrecognised label.
         counts = {state: 0 for state in JOB_STATES}
+        counts["other"] = 0
         for record in self.store.list_jobs():
-            counts[record.state] += 1
+            if record.state in counts:
+                counts[record.state] += 1
+            else:
+                counts["other"] += 1
         self._send_json(200, {"ok": True, "jobs": counts})
 
     def _get_metrics(self, job_id: str, query: Dict[str, Any]) -> None:
         self.store.load(job_id)  # 404 on unknown id
-        since = int(query.get("since", 0))
+        since = _query_int(query, "since", 0)
         rd = self.store.run_dir(job_id)
         rows = rd.read_metrics() if rd.has_artifacts() else []
         body = "".join(
@@ -199,11 +225,22 @@ class _JobApiHandler(BaseHTTPRequestHandler):
             raise _ApiError(400, 'body must carry a "spec" object')
         record = self.store.submit(
             spec,
-            priority=int(payload.get("priority", 0)),
+            priority=_query_int(payload, "priority", 0),
             checkpoint_every=payload.get("checkpoint_every"),
-            max_retries=int(payload.get("max_retries", 2)),
+            max_retries=_query_int(payload, "max_retries", 2),
         )
         self._send_json(201, self.store.describe(record.id))
+
+    # -- anything else -----------------------------------------------------
+
+    def _method_not_allowed(self) -> None:
+        # Without these, http.server answers unknown methods with a 501
+        # HTML page — breaking the every-error-is-JSON contract above.
+        self._send_json(405, {"error": f"method {self.command} not allowed"})
+
+    do_PUT = _method_not_allowed
+    do_DELETE = _method_not_allowed
+    do_PATCH = _method_not_allowed
 
 
 class JobApiServer:

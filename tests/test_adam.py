@@ -164,3 +164,62 @@ class TestStats:
         assert a.passes == 3 and a.macs == 40
         assert a.total_cycles == 16
         assert a.utilization == pytest.approx(40 / 60)
+
+
+class TestStackedAdamEnvelope:
+    """The vectorised cost envelope must equal serial ADAM accounting
+    exactly — it is what lets a whole generation be costed with array
+    ops instead of per-(genome, step, wave) Python loops."""
+
+    def test_charge_matches_serial_run_exactly(self, config):
+        from dataclasses import astuple
+
+        from repro.hw.adam import StackedAdamEnvelope
+
+        adam_config = ADAMConfig(rows=8, cols=8)
+        genomes = [make_genome(config, seed=s, mutations=10 * s) for s in range(6)]
+        plans = [build_inference_plan(g, config) for g in genomes]
+        passes = [3, 0, 1, 7, 2, 5]
+
+        serial = ADAM(adam_config)
+        for plan, count in zip(plans, passes):
+            for _ in range(count):
+                serial.run(plan, [0.5, -1.0, 2.0, 0.0])
+
+        envelope = StackedAdamEnvelope(plans, adam_config)
+        batched = ADAM(adam_config)
+        envelope.charge(batched.stats, passes)
+        assert astuple(batched.stats) == astuple(serial.stats)
+
+    def test_per_pass_costs_match_systolic_formula(self, config):
+        from repro.hw.adam import StackedAdamEnvelope
+
+        adam_config = ADAMConfig(rows=4, cols=4)
+        adam = ADAM(adam_config)
+        plan = build_inference_plan(make_genome(config), config)
+        envelope = StackedAdamEnvelope([plan], adam_config)
+        expected_array = sum(
+            adam.systolic_cycles(len(w.node_ids), len(w.source_ids))
+            for w in plan.waves
+        )
+        assert envelope.array_cycles_per_pass[0] == expected_array
+        assert envelope.vectorize_cycles_per_pass[0] == sum(
+            len(w.source_ids) for w in plan.waves
+        )
+        assert envelope.macs_per_pass[0] == plan.macs_per_pass
+        assert envelope.waves_per_pass[0] == len(plan.waves)
+
+    def test_empty_and_ragged_populations(self, config):
+        from repro.hw.adam import InferenceStats, StackedAdamEnvelope
+
+        empty = StackedAdamEnvelope([])
+        stats = InferenceStats()
+        empty.charge(stats, [])
+        assert stats.passes == 0
+        # ragged depths pad with zero-cost slots
+        shallow = build_inference_plan(make_genome(config, mutations=0), config)
+        deep = build_inference_plan(make_genome(config, seed=2), config)
+        envelope = StackedAdamEnvelope([shallow, deep])
+        assert len(envelope) == 2
+        with pytest.raises(ValueError, match="pass counts"):
+            envelope.charge(InferenceStats(), [1])

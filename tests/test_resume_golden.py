@@ -151,3 +151,30 @@ def test_analytical_resume_bit_identical(tmp_path):
     assert result.total_energy_j == pytest.approx(
         reference_summary["total_energy_j"], abs=0, rel=0
     )
+
+
+def test_analytical_resume_totals_cover_full_run(tmp_path):
+    """A resumed analytical run must report *full-run* totals.
+
+    ``AnalyticalBackend.run`` sums only the in-memory ``loop.metrics`` —
+    after a resume those start at the checkpoint, so the runs layer
+    splices the pre-interruption rows back in from ``metrics.jsonl`` and
+    re-derives the totals.  Pin that contract: the resumed result (both
+    the returned object and the persisted ``result.json``) totals every
+    generation, equal to the uninterrupted run and to the metrics file
+    sum, exactly.
+    """
+    spec = cartpole_spec(backend="analytical:GENESYS")
+    resumed, reference, result = run_interrupted_and_reference(
+        tmp_path, spec, kill_generation=3
+    )
+    rows = RunDir(resumed).read_metrics()
+    assert [row["generation"] for row in rows] == list(
+        range(spec.max_generations)
+    )
+    assert result.total_energy_j == sum(row["energy_j"] for row in rows)
+    assert result.total_runtime_s == sum(row["runtime_s"] for row in rows)
+    persisted = RunDir(resumed).load_result()
+    reference_summary = RunDir(reference).load_result()
+    assert persisted["total_energy_j"] == reference_summary["total_energy_j"]
+    assert persisted["total_runtime_s"] == reference_summary["total_runtime_s"]

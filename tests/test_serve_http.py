@@ -1,6 +1,7 @@
 """HTTP API tests: routes, error codes, and the client round trip."""
 
 import json
+import urllib.error
 import urllib.request
 
 import pytest
@@ -38,6 +39,70 @@ def test_healthz_counts_jobs_by_state(served):
     assert all(count == 0 for count in health["jobs"].values())
     store.submit(spec_dict())
     assert client.healthz()["jobs"]["queued"] == 1
+
+
+def test_healthz_tolerates_unknown_job_state(served):
+    # A job.json written by a newer version may carry a state this
+    # server has never heard of; /healthz must bucket it, not 500.
+    store, client = served
+    record = store.submit(spec_dict())
+    path = store.job_dir(record.id) / "job.json"
+    payload = json.loads(path.read_text())
+    payload["state"] = "hibernating"
+    path.write_text(json.dumps(payload))
+    health = client.healthz()
+    assert health["ok"] is True
+    assert health["jobs"]["other"] == 1
+    assert health["jobs"]["queued"] == 0
+
+
+def test_malformed_since_is_a_400_json_error(served):
+    store, client = served
+    job = client.submit(spec_dict())
+    with pytest.raises(ServeClientError) as excinfo:
+        client._request("GET", f"/jobs/{job['id']}/metrics?since=abc")
+    assert excinfo.value.status == 400
+    assert "since" in str(excinfo.value)
+    # raw request: the body is the structured error shape, not a traceback
+    url = f"{client.base_url}/jobs/{job['id']}/metrics?since=abc"
+    try:
+        urllib.request.urlopen(url)
+    except urllib.error.HTTPError as error:
+        assert error.code == 400
+        body = json.loads(error.read())
+        assert set(body) == {"error"}
+    else:  # pragma: no cover - the request must fail
+        raise AssertionError("expected a 400")
+    # a well-formed since still filters
+    assert client.metrics(job["id"], since=0) == []
+
+
+def test_malformed_body_ints_are_400(served):
+    _store, client = served
+    for field in ("priority", "max_retries"):
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request(
+                "POST", "/jobs", {"spec": spec_dict(), field: "lots"}
+            )
+        assert excinfo.value.status == 400
+        assert field in str(excinfo.value)
+
+
+def test_wrong_method_is_a_405_json_error(served):
+    _store, client = served
+    for method in ("PUT", "DELETE", "PATCH"):
+        request = urllib.request.Request(
+            f"{client.base_url}/jobs", method=method
+        )
+        try:
+            urllib.request.urlopen(request)
+        except urllib.error.HTTPError as error:
+            assert error.code == 405
+            body = json.loads(error.read())
+            assert set(body) == {"error"}
+            assert method in body["error"]
+        else:  # pragma: no cover - the request must fail
+            raise AssertionError(f"expected a 405 for {method}")
 
 
 def test_submit_and_list_round_trip(served):

@@ -93,3 +93,53 @@ def test_deterministic_given_seed():
         soc.run(max_generations=3, fitness_threshold=1e9)
         results.append([r.best_fitness for r in soc.reports])
     assert results[0] == results[1]
+
+
+class TestVectorizedEvaluation:
+    """The population-batched evaluation path must be indistinguishable
+    from the serial per-genome walk — fitnesses, env steps, every ADAM
+    counter, and the whole energy ledger."""
+
+    @staticmethod
+    def _reports(env_id, vectorize, episodes=1, generations=3):
+        from dataclasses import astuple
+
+        neat = config_for_env(env_id, pop_size=14)
+        config = GeneSysConfig(neat=neat, eve=EvEConfig(num_pes=8), seed=9)
+        soc = GeneSysSoC(
+            config, env_id, episodes=episodes, max_steps=40,
+            vectorize=vectorize,
+        )
+        out = []
+        for _ in range(generations):
+            r = soc.run_generation()
+            out.append((
+                r.best_fitness, r.mean_fitness, r.env_steps,
+                astuple(r.inference), r.inference_cycles,
+                r.energy.total_energy_j, r.footprint_bytes, r.num_genes,
+            ))
+        return out
+
+    @pytest.mark.parametrize("env_id", ["CartPole-v0", "MountainCar-v0"])
+    def test_bit_identical_to_serial(self, env_id):
+        assert self._reports(env_id, True) == self._reports(env_id, False)
+
+    def test_bit_identical_multi_episode(self):
+        assert self._reports("CartPole-v0", True, episodes=3) == \
+            self._reports("CartPole-v0", False, episodes=3)
+
+    def test_env_steps_cover_every_episode(self):
+        """Regression: the serial path used to count only the last
+        episode's steps per genome when episodes > 1."""
+        neat = config_for_env("CartPole-v0", pop_size=8)
+        config = GeneSysConfig(neat=neat, eve=EvEConfig(num_pes=8), seed=1)
+        soc = GeneSysSoC(config, "CartPole-v0", episodes=3, max_steps=25,
+                         vectorize=False)
+        soc.initialise_population()
+        steps = soc.evaluate_population()
+        # every episode runs at least one step, so 8 genomes x 3 episodes
+        assert steps >= 24
+        assert steps == soc.adam.stats.passes
+
+    def test_vectorize_default_on(self, soc):
+        assert soc.vectorize is True
