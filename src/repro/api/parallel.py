@@ -32,6 +32,7 @@ import os
 import pickle
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from ..envs.evaluate import EvaluationTotals, FitnessEvaluator, run_episode
 from ..envs.registry import make
 from ..envs.seeding import episode_seed
@@ -112,13 +113,17 @@ def _evaluate_chunk_vectorized(chunk) -> List[Tuple[int, List[float], int, int]]
         from ..envs.batched import make_batched
 
         _WORKER_ENV_BATCH = make_batched(_WORKER_ENV_ID)
-    return evaluate_genomes_batched(
-        chunk,
-        _WORKER_GENOME_CONFIG,
-        _WORKER_ENV_BATCH,
-        max_steps=_WORKER_MAX_STEPS,
-        scalar_env=_WORKER_ENV,
-    )
+    # Forked workers inherit the parent's installed tracer (the path,
+    # not a shared handle), so chunk spans land in the same telemetry
+    # file tagged with the worker's pid.
+    with obs.span("parallel.chunk", genomes=len(chunk)):
+        return evaluate_genomes_batched(
+            chunk,
+            _WORKER_GENOME_CONFIG,
+            _WORKER_ENV_BATCH,
+            max_steps=_WORKER_MAX_STEPS,
+            scalar_env=_WORKER_ENV,
+        )
 
 
 def _attach_untracked(name: str):
@@ -257,12 +262,16 @@ class ParallelFitnessEvaluator:
         from multiprocessing import shared_memory
 
         chunks = self._chunks(tasks)
-        blobs = [
-            pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
-            for chunk in chunks
-        ]
-        total = sum(len(blob) for blob in blobs)
-        segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+        with obs.span("parallel.shm_stage", chunks=len(chunks)) as sp:
+            blobs = [
+                pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
+                for chunk in chunks
+            ]
+            total = sum(len(blob) for blob in blobs)
+            sp.set(bytes=total)
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, total)
+            )
         try:
             descriptors = []
             offset = 0
@@ -286,20 +295,28 @@ class ParallelFitnessEvaluator:
         tasks = [
             (genome, self._episode_seeds(genome)) for genome in genomes
         ]
-        if self.task_transport == "shm":
-            outcomes = self._map_via_shared_memory(pool, tasks)
-        elif self.vectorizer == "numpy":
-            # Contiguous slices, one per worker: each slice is compiled,
-            # stacked and rolled out in lockstep inside its process.
-            outcomes = [
-                outcome
-                for chunk_result in pool.map(
-                    _evaluate_chunk_vectorized, self._chunks(tasks)
-                )
-                for outcome in chunk_result
-            ]
-        else:
-            outcomes = pool.map(_evaluate_genome, tasks)
+        with obs.span(
+            "parallel.map",
+            workers=self.workers,
+            genomes=len(tasks),
+            transport=self.task_transport,
+            vectorizer=self.vectorizer,
+        ):
+            if self.task_transport == "shm":
+                outcomes = self._map_via_shared_memory(pool, tasks)
+            elif self.vectorizer == "numpy":
+                # Contiguous slices, one per worker: each slice is
+                # compiled, stacked and rolled out in lockstep inside
+                # its process.
+                outcomes = [
+                    outcome
+                    for chunk_result in pool.map(
+                        _evaluate_chunk_vectorized, self._chunks(tasks)
+                    )
+                    for outcome in chunk_result
+                ]
+            else:
+                outcomes = pool.map(_evaluate_genome, tasks)
         for genome, (key, rewards, steps, macs) in zip(genomes, outcomes):
             if key != genome.key:  # pool.map preserves order; belt and braces
                 raise RuntimeError(

@@ -24,6 +24,9 @@ Commands
 ``submit [ENV] --root|--url``     queue an experiment as a job
 ``jobs --root|--url``             list jobs and their progress
 ``job ID --root|--url``           inspect / follow / cancel one job
+``top ROOT``                      live one-screen fleet view
+``trace RUN_DIR``                 phase breakdown of a traced run
+                                  (``--export chrome`` for Perfetto)
 
 ``run``, ``characterise`` and ``platforms`` are spec-driven: flags build
 an :class:`repro.api.ExperimentSpec`, or ``--spec FILE`` loads one from
@@ -44,7 +47,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .analysis.reporting import (
     fmt_bytes,
@@ -196,6 +199,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             run_dir,
             max_generations=args.generations,
             checkpoint_every=args.checkpoint_every,
+            trace=True if args.trace else None,
         )
         spec = result.spec
         if latest is not None:
@@ -209,7 +213,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             from .runs import run_in_dir
 
             result = run_in_dir(
-                spec, args.run_dir, checkpoint_every=args.checkpoint_every
+                spec,
+                args.run_dir,
+                checkpoint_every=args.checkpoint_every,
+                trace=True if args.trace else None,
+            )
+        elif args.trace:
+            raise SystemExit(
+                "error: --trace writes telemetry.jsonl into the run "
+                "directory; add --run-dir DIR (or --resume DIR)"
             )
         else:
             result = Experiment(spec).run()
@@ -260,6 +272,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  artifacts in {run_target} "
               f"(resume: 'repro run --resume {run_target}'; "
               f"tables: 'repro report {run_target}')")
+        if args.trace:
+            print(f"  telemetry in {run_target}/telemetry.jsonl "
+                  f"(inspect: 'repro trace {run_target}')")
     if args.show:
         from .analysis.netviz import describe_genome
 
@@ -560,7 +575,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     server = None
     if not args.no_http:
-        server = JobApiServer(store, host=args.host, port=args.port).start()
+        # Sharing the scheduler's registry puts its counters and
+        # histograms on GET /metrics next to the store-derived gauges.
+        server = JobApiServer(
+            store,
+            host=args.host,
+            port=args.port,
+            registry=scheduler.metrics,
+        ).start()
         print(f"serving jobs from {store.root} at {server.url}")
     else:
         print(f"scheduling jobs from {store.root} (no HTTP API)")
@@ -666,6 +688,7 @@ def _print_job(payload) -> None:
 def _cmd_job(args: argparse.Namespace) -> int:
     import time
 
+    from .obs import JsonlTail
     from .serve import FAILED, TERMINAL_STATES
 
     store, client = _serve_endpoint(args)
@@ -675,12 +698,23 @@ def _cmd_job(args: argparse.Namespace) -> int:
             return store.describe(args.job_id)
         return client.job(args.job_id)
 
+    # Store-path polling follows metrics.jsonl incrementally (byte
+    # offset, torn tail left unconsumed) instead of re-reading the whole
+    # file each round; the >= since filter mirrors the HTTP ?since=
+    # cursor and also dedupes rows re-delivered after a resume rewound
+    # (truncated) the file.
+    metrics_tail = (
+        JsonlTail(store.run_dir(args.job_id).metrics_path)
+        if store is not None
+        else None
+    )
+
     def metrics_since(since: int):
-        if store is not None:
-            rd = store.run_dir(args.job_id)
-            rows = rd.read_metrics() if rd.has_artifacts() else []
-            return [r for r in rows if int(r.get("generation", 0)) >= since]
-        return client.metrics(args.job_id, since=since)
+        if metrics_tail is not None:
+            rows = metrics_tail.poll()
+        else:
+            rows = client.metrics(args.job_id, since=since)
+        return [r for r in rows if int(r.get("generation", 0)) >= since]
 
     if args.cancel:
         if store is not None:
@@ -734,6 +768,93 @@ def _cmd_job(args: argparse.Namespace) -> int:
                       f"mean {row.get('mean_fitness', 0.0):.2f}")
     _print_job(payload)
     return 1 if payload["state"] == FAILED else 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs import render_top, snapshot_fleet
+    from .serve import JobStore
+
+    store = JobStore(args.root)
+    try:
+        while True:
+            screen = render_top(snapshot_fleet(store, detail=True))
+            if args.once:
+                print(screen)
+                return 0
+            # Clear + home, like top(1); plain print would scroll.
+            sys.stdout.write("\x1b[2J\x1b[H" + screen + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs import (
+        TELEMETRY_FILENAME,
+        export_chrome_trace,
+        phase_summary,
+        read_telemetry,
+    )
+
+    run_dir = Path(args.run_dir)
+    telemetry = (
+        run_dir / TELEMETRY_FILENAME if run_dir.is_dir() else run_dir
+    )
+    if not telemetry.exists():
+        raise SystemExit(
+            f"error: {telemetry} not found — record one with "
+            "'repro run --trace --run-dir DIR' (or REPRO_TRACE=1)"
+        )
+
+    if args.export:
+        out = args.out or str(run_dir / "trace.json")
+        events = export_chrome_trace(telemetry, out)
+        print(f"wrote {events} events to {out}")
+        print("  open in https://ui.perfetto.dev or chrome://tracing")
+        return 0
+
+    rows = read_telemetry(telemetry)
+    summary = phase_summary(rows)
+    if not summary:
+        print(f"{telemetry} holds no span rows")
+        return 0
+    table_rows = [
+        [
+            entry["phase"],
+            entry["count"],
+            f"{entry['total_s']:.3f}",
+            f"{entry['mean_s'] * 1e3:.2f}",
+            f"{entry['share'] * 100:.1f}%",
+        ]
+        for entry in summary
+    ]
+    print(render_table(
+        ["phase", "count", "total s", "mean ms", "share"],
+        table_rows,
+        title=f"Phase breakdown: {telemetry}",
+    ))
+    counters: Dict[str, int] = {}
+    for row in rows:
+        if row.get("type") == "counter":
+            name = str(row.get("name", "?"))
+            counters[name] = counters.get(name, 0) + int(row.get("value", 0))
+    if counters:
+        print()
+        print(render_table(
+            ["counter", "total"],
+            [[name, counters[name]] for name in sorted(counters)],
+            title="Counters",
+        ))
+    print()
+    print("note: phases nest (run > evaluate > compile/rollout), so "
+          "shares profile wall time rather than partition it")
+    return 0
 
 
 def _positive_int(text: str) -> int:
@@ -814,6 +935,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="full-state checkpoint cadence in generations "
                           "(default 5; resume keeps the recorded "
                           "cadence)")
+    run.add_argument("--trace", action="store_true",
+                     help="append span/counter telemetry to "
+                          "telemetry.jsonl in the run directory "
+                          "(requires --run-dir or --resume; strictly "
+                          "out-of-band — every other artifact stays "
+                          "byte-identical; see 'repro trace' and "
+                          "docs/observability.md)")
     run.add_argument("--save", metavar="FILE",
                      help="save the champion genome (JSON)")
     run.add_argument("--save-spec", metavar="FILE",
@@ -1025,12 +1153,59 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="S",
                      help="poll cadence for --wait/--follow (default 1.0)")
     job.set_defaults(func=_cmd_job)
+
+    top = sub.add_parser(
+        "top",
+        help="live one-screen fleet view of a serve root",
+        description="Render the serve root's jobs — state, progress, "
+                    "best fitness, lock-heartbeat age — as one screen, "
+                    "refreshed in place (reads the on-disk store; no "
+                    "server required).  The same data feeds the HTTP "
+                    "API's GET /metrics Prometheus endpoint.",
+    )
+    top.add_argument("root", metavar="ROOT", help="serve root directory")
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="refresh cadence in seconds (default 2.0)")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (scripts/CI)")
+    top.set_defaults(func=_cmd_top)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect a traced run's telemetry",
+        description="Summarise a run's telemetry.jsonl (recorded with "
+                    "'run --trace' or REPRO_TRACE=1) as a Fig. 10-style "
+                    "phase breakdown — where the wall-clock went: "
+                    "evaluate vs reproduce vs checkpoint, compile vs "
+                    "rollout — or export it as Chrome trace-event JSON "
+                    "for Perfetto / chrome://tracing.",
+    )
+    trace.add_argument("run_dir", metavar="RUN_DIR",
+                       help="a traced run directory (or a telemetry.jsonl "
+                            "path directly)")
+    trace.add_argument("--export", metavar="FORMAT", choices=["chrome"],
+                       help="write the trace instead of summarising; "
+                            "formats: chrome (trace-event JSON)")
+    trace.add_argument("--out", metavar="FILE",
+                       help="output path for --export (default: "
+                            "RUN_DIR/trace.json)")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    import os
+
+    trace_file = os.environ.get("REPRO_TRACE_FILE")
+    if trace_file:
+        # Process-wide telemetry for commands with no run directory
+        # (dse sweeps, characterise); run-scoped tracing still takes
+        # over inside run_in_dir.  Forked pool workers inherit it.
+        from .obs import Tracer, install
+
+        install(Tracer(trace_file))
     from .api import SpecError, UnknownBackendError
     from .dse import ObjectiveError
     from .envs.registry import UnknownEnvironmentError

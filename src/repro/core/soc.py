@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from .. import obs as telemetry
 from ..envs.base import Environment
 from ..envs.evaluate import action_from_outputs, run_episodes_batched
 from ..envs.registry import make
@@ -132,6 +133,14 @@ class GeneSysSoC:
         )
 
     def _evaluate_population_serial(self) -> int:
+        with telemetry.span(
+            "soc.evaluate_serial",
+            generation=self.generation,
+            genomes=len(self.population),
+        ):
+            return self._evaluate_population_serial_inner()
+
+    def _evaluate_population_serial_inner(self) -> int:
         env = make(self.env_id)
         genome_cfg = self.config.neat.genome
         total_steps = 0
@@ -169,15 +178,20 @@ class GeneSysSoC:
         keys = sorted(self.population)
         plans = {}
         compiled = {}
-        for key in keys:
-            # Step 1: genomes are read from the buffer and mapped on ADAM.
-            stream = self.buffer.read_genome(key)
-            resident = decode_genome(stream, key, genome_cfg)
-            plans[key] = build_inference_plan(resident, genome_cfg)
-            try:
-                compiled[key] = compile_network(resident, genome_cfg)
-            except CompileError:
-                pass
+        with telemetry.span(
+            "soc.compile", generation=self.generation, genomes=len(keys)
+        ) as sp:
+            for key in keys:
+                # Step 1: genomes are read from the buffer and mapped on
+                # ADAM.
+                stream = self.buffer.read_genome(key)
+                resident = decode_genome(stream, key, genome_cfg)
+                plans[key] = build_inference_plan(resident, genome_cfg)
+                try:
+                    compiled[key] = compile_network(resident, genome_cfg)
+                except CompileError:
+                    pass
+            sp.set(compiled=len(compiled))
 
         rewards_by_key: Dict[int, List[float]] = {}
         steps_by_key: Dict[int, List[int]] = {}
@@ -194,12 +208,17 @@ class GeneSysSoC:
                 for episode in range(self.episodes):
                     lane_plans.append(slot)
                     lane_seeds.append(self._episode_seed(key, episode))
-            episodes = run_episodes_batched(
-                stacked.lane_runner(lane_plans),
-                self._env_batch,
-                lane_seeds,
-                max_steps=self.max_steps,
-            )
+            with telemetry.span(
+                "soc.rollout",
+                genomes=len(batched_keys),
+                lanes=len(lane_seeds),
+            ):
+                episodes = run_episodes_batched(
+                    stacked.lane_runner(lane_plans),
+                    self._env_batch,
+                    lane_seeds,
+                    max_steps=self.max_steps,
+                )
             cursor = 0
             for key in batched_keys:
                 lane_results = episodes[cursor : cursor + self.episodes]
@@ -208,25 +227,30 @@ class GeneSysSoC:
                 steps_by_key[key] = [r.steps for r in lane_results]
             # Steps 2-5 cost accounting: every env step is one forward
             # pass of that genome's plan.
-            envelope = StackedAdamEnvelope(
-                [plans[k] for k in batched_keys], self.adam.config
-            )
-            envelope.charge(
-                self.adam.stats, [sum(steps_by_key[k]) for k in batched_keys]
-            )
+            with telemetry.span(
+                "soc.envelope_charge", genomes=len(batched_keys)
+            ):
+                envelope = StackedAdamEnvelope(
+                    [plans[k] for k in batched_keys], self.adam.config
+                )
+                envelope.charge(
+                    self.adam.stats,
+                    [sum(steps_by_key[k]) for k in batched_keys],
+                )
 
         fallback_keys = [k for k in keys if k not in compiled]
         if fallback_keys:
             env = make(self.env_id)
-            for key in fallback_keys:
-                rewards: List[float] = []
-                steps: List[int] = []
-                for episode in range(self.episodes):
-                    env.seed(self._episode_seed(key, episode))
-                    rewards.append(self._run_episode(plans[key], env))
-                    steps.append(self._episode_steps)
-                rewards_by_key[key] = rewards
-                steps_by_key[key] = steps
+            with telemetry.span("soc.fallback", genomes=len(fallback_keys)):
+                for key in fallback_keys:
+                    rewards: List[float] = []
+                    steps: List[int] = []
+                    for episode in range(self.episodes):
+                        env.seed(self._episode_seed(key, episode))
+                        rewards.append(self._run_episode(plans[key], env))
+                        steps.append(self._episode_steps)
+                    rewards_by_key[key] = rewards
+                    steps_by_key[key] = steps
 
         total_steps = 0
         for key in keys:
@@ -302,7 +326,8 @@ class GeneSysSoC:
             self.best_genome = self.population[best_key].copy()
         num_genes = sum(g.num_genes for g in self.population.values())
 
-        evolution = self.evolve_population()
+        with telemetry.span("soc.evolve", generation=self.generation):
+            evolution = self.evolve_population()
         if evolution is None:
             evolution = EvolutionResult()
         plan = getattr(self, "_last_plan", None)

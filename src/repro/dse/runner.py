@@ -37,6 +37,7 @@ from typing import (
     Union,
 )
 
+from .. import obs
 from ..analysis.reporting import write_csv, write_json
 from .cache import EXPERIMENT_EVALUATOR, SweepCache, point_key
 from .pareto import ObjectiveError, pareto_front
@@ -74,12 +75,15 @@ def evaluate_experiment_point(
     from ..api import Experiment, ExperimentSpec
 
     spec = ExperimentSpec.from_json(spec_json)
-    if run_dir is not None:
-        from ..runs import run_in_dir
+    with obs.span(
+        "dse.point", env_id=spec.env_id, backend=spec.backend
+    ):
+        if run_dir is not None:
+            from ..runs import run_in_dir
 
-        result = run_in_dir(spec, run_dir, resume="auto")
-    else:
-        result = Experiment(spec).run()
+            result = run_in_dir(spec, run_dir, resume="auto")
+        else:
+            result = Experiment(spec).run()
     return {
         "fitness": result.best_fitness,
         "generations": result.generations,
@@ -333,8 +337,10 @@ class SweepRunner:
         for index, (point, key) in enumerate(zip(points, keys)):
             record = self.cache.get(key) if self.cache is not None else None
             if record is not None:
+                obs.incr("dse.cache_hit")
                 land(index, record["metrics"], cached=True)
             else:
+                obs.incr("dse.cache_miss")
                 pending.setdefault(key, []).append(index)
 
         # Pass 2: evaluate one representative per unique key.  Each

@@ -468,13 +468,16 @@ def evaluate_genomes_batched(
     # a module-level import would be circular when this file is loaded
     # from the repro.neat package __init__.
     from ..envs.evaluate import run_episode, run_episodes_batched
+    from .. import obs
 
     plans: List[Optional[CompiledNetwork]] = []
-    for genome, _seeds in tasks:
-        try:
-            plans.append(compile_network(genome, genome_config))
-        except CompileError:
-            plans.append(None)
+    with obs.span("compile", genomes=len(tasks)) as sp:
+        for genome, _seeds in tasks:
+            try:
+                plans.append(compile_network(genome, genome_config))
+            except CompileError:
+                plans.append(None)
+        sp.set(compiled=sum(1 for p in plans if p is not None))
 
     if plan_info is not None:
         plan_info["depths"] = {
@@ -502,13 +505,16 @@ def evaluate_genomes_batched(
                 lane_seeds.append(seed)
                 lane_macs.append(stacked.macs[slot])
                 lane_task.append(i)
-        episodes = run_episodes_batched(
-            stacked.lane_runner(lane_plans),
-            env_batch,
-            lane_seeds,
-            max_steps=max_steps,
-            macs_per_pass=lane_macs,
-        )
+        with obs.span(
+            "rollout", genomes=len(compiled_idx), lanes=len(lane_seeds)
+        ):
+            episodes = run_episodes_batched(
+                stacked.lane_runner(lane_plans),
+                env_batch,
+                lane_seeds,
+                max_steps=max_steps,
+                macs_per_pass=lane_macs,
+            )
         lane_cursor = 0
         for i in compiled_idx:
             genome, seeds = tasks[i]
@@ -527,19 +533,20 @@ def evaluate_genomes_batched(
             from ..envs.registry import make
 
             scalar_env = make(env_batch.env_id)
-        for i in fallback_idx:
-            genome, seeds = tasks[i]
-            network = FeedForwardNetwork.create(genome, genome_config)
-            rewards: List[float] = []
-            steps = 0
-            macs = 0
-            for seed in seeds:
-                scalar_env.seed(seed)
-                result = run_episode(network, scalar_env, max_steps)
-                rewards.append(result.total_reward)
-                steps += result.steps
-                macs += result.inference_macs
-            results[i] = (genome.key, rewards, steps, macs)
+        with obs.span("fallback", genomes=len(fallback_idx)):
+            for i in fallback_idx:
+                genome, seeds = tasks[i]
+                network = FeedForwardNetwork.create(genome, genome_config)
+                rewards: List[float] = []
+                steps = 0
+                macs = 0
+                for seed in seeds:
+                    scalar_env.seed(seed)
+                    result = run_episode(network, scalar_env, max_steps)
+                    rewards.append(result.total_reward)
+                    steps += result.steps
+                    macs += result.inference_macs
+                results[i] = (genome.key, rewards, steps, macs)
 
     return [r for r in results if r is not None]
 

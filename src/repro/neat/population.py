@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional
 
+from .. import obs
 from .config import NEATConfig
 from .genome import Genome
 from .innovation import InnovationTracker
@@ -68,7 +69,10 @@ class Population:
     def run_generation(self, fitness_function: FitnessFunction) -> GenerationStats:
         """Evaluate the current population and breed the next one."""
         genomes = list(self.population.values())
-        fitness_function(genomes, self.config)
+        with obs.span(
+            "evaluate", generation=self.generation, genomes=len(genomes)
+        ):
+            fitness_function(genomes, self.config)
         missing = [g.key for g in genomes if g.fitness is None]
         if missing:
             raise RuntimeError(
@@ -88,14 +92,19 @@ class Population:
             self.generation, self.population, len(self.species_set), self.last_plan
         )
 
-        self.innovations.new_generation()
-        new_population, plan = self.reproduction.reproduce(
-            self.species_set, self.generation, self.rng
-        )
-        self.last_plan = plan
-        self.population = new_population
-        self.generation += 1
-        self.species_set.speciate(self.population, self.generation)
+        with obs.span(
+            "reproduce",
+            generation=self.generation,
+            species=len(self.species_set),
+        ):
+            self.innovations.new_generation()
+            new_population, plan = self.reproduction.reproduce(
+                self.species_set, self.generation, self.rng
+            )
+            self.last_plan = plan
+            self.population = new_population
+            self.generation += 1
+            self.species_set.speciate(self.population, self.generation)
         return stats
 
     def run(

@@ -1,0 +1,157 @@
+"""Fleet-level observability over a serve root.
+
+One snapshot function feeds two surfaces:
+
+* ``GET /metrics`` on the serve HTTP API — Prometheus text exposition
+  (:func:`prometheus_text`): job-state gauges, queue depth and per-job
+  heartbeat ages derived from the store at scrape time, concatenated
+  with the scheduler's own counter/histogram registry when one is
+  attached;
+* ``repro top ROOT`` — a live one-screen fleet view
+  (:func:`render_top`).
+
+Everything reads the on-disk store, so both work with or without a
+scheduler in the process (a standalone API server still exposes the
+store-derived gauges; the scheduler counters simply aren't there).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry
+
+
+def snapshot_fleet(store, detail: bool = False) -> Dict[str, Any]:
+    """The serve root's current shape, JSON-friendly.
+
+    ``detail=False`` (the scrape path) reads only job records and lock
+    heartbeats — O(jobs) small files.  ``detail=True`` (the ``repro
+    top`` path) additionally pulls each job's derived progress
+    (:meth:`JobStore.describe`: best fitness, metrics rows), which reads
+    run artifacts and costs more per refresh.
+    """
+    from ..runs.locking import read_lock
+    from ..serve.jobs import JOB_STATES, RUNNING, WAITING_STATES
+
+    now = time.time()
+    states = {state: 0 for state in JOB_STATES}
+    states["other"] = 0
+    jobs: List[Dict[str, Any]] = []
+    queue_depth = 0
+    for record in store.list_jobs():
+        states[record.state if record.state in states else "other"] += 1
+        if record.state in WAITING_STATES:
+            queue_depth += 1
+        if detail:
+            payload = store.describe(record.id)
+        else:
+            payload = record.to_dict()
+        payload["heartbeat_age_s"] = None
+        if record.state == RUNNING:
+            lock = read_lock(store.run_dir(record.id).path)
+            if lock is not None:
+                payload["heartbeat_age_s"] = max(
+                    0.0, now - float(lock.get("heartbeat_at", now))
+                )
+        jobs.append(payload)
+    return {
+        "ts": now,
+        "root": str(store.root),
+        "states": states,
+        "queue_depth": queue_depth,
+        "jobs": jobs,
+    }
+
+
+def prometheus_text(
+    store, registry: Optional[MetricsRegistry] = None
+) -> str:
+    """The serve root as Prometheus text exposition format 0.0.4.
+
+    Store-derived gauges are computed fresh per scrape; ``registry``
+    (the scheduler's counters and histograms, when the server runs next
+    to one) renders after them.  The two must not share metric names.
+    """
+    snapshot = snapshot_fleet(store)
+    fleet = MetricsRegistry()
+    jobs_gauge = fleet.gauge(
+        "repro_jobs", "Jobs in the serve root by lifecycle state."
+    )
+    for state, count in snapshot["states"].items():
+        jobs_gauge.set(count, state=state)
+    fleet.gauge(
+        "repro_queue_depth",
+        "Jobs waiting for a worker slot (queued + preempted).",
+    ).set(snapshot["queue_depth"])
+    fleet.gauge(
+        "repro_running_jobs", "Jobs currently holding a worker slot."
+    ).set(snapshot["states"].get("running", 0))
+    heartbeat = fleet.gauge(
+        "repro_heartbeat_age_seconds",
+        "Seconds since each running job's run-lock heartbeat.",
+    )
+    generations = fleet.gauge(
+        "repro_job_generations_done",
+        "Checkpointed generations per non-terminal job.",
+    )
+    for job in snapshot["jobs"]:
+        if job["heartbeat_age_s"] is not None:
+            heartbeat.set(job["heartbeat_age_s"], job=job["id"])
+        if job["state"] not in ("done", "failed", "cancelled"):
+            generations.set(
+                float(job.get("generations_done") or 0), job=job["id"]
+            )
+    text = fleet.render()
+    if registry is not None:
+        text += registry.render()
+    return text
+
+
+def _fmt_age(age: Optional[float]) -> str:
+    if age is None:
+        return "-"
+    if age < 120:
+        return f"{age:.1f}s"
+    return f"{age / 60:.1f}m"
+
+
+def render_top(snapshot: Dict[str, Any]) -> str:
+    """One screenful of fleet state from a ``detail=True`` snapshot."""
+    from ..analysis.reporting import render_table
+
+    states = snapshot["states"]
+    rows = []
+    for job in snapshot["jobs"]:
+        spec = job.get("spec") or {}
+        best = job.get("best_fitness")
+        total = spec.get("max_generations", "?")
+        rows.append([
+            job["id"],
+            job["state"],
+            job.get("priority", 0),
+            spec.get("env_id", "?"),
+            spec.get("backend", "?"),
+            f"{job.get('generations_done') or 0}/{total}",
+            "-" if best is None else f"{best:.2f}",
+            _fmt_age(job.get("heartbeat_age_s")),
+        ])
+    table = render_table(
+        ["job", "state", "priority", "environment", "backend",
+         "generations", "best", "heartbeat"],
+        rows,
+        title=f"Fleet: {snapshot['root']}",
+    )
+    summary = "  ".join(
+        f"{state}={count}"
+        for state, count in states.items()
+        if count or state in ("queued", "running", "done")
+    )
+    stamp = time.strftime(
+        "%H:%M:%S", time.localtime(snapshot["ts"])
+    )
+    return (
+        f"{table}\n"
+        f"{summary}  queue_depth={snapshot['queue_depth']}  [{stamp}]"
+    )

@@ -1,0 +1,74 @@
+"""Incremental JSONL readers: follow a growing file without re-reading it.
+
+Every follower in the codebase used to re-read its whole JSONL file on
+each poll (``repro job --follow`` over ``metrics.jsonl``, the
+scheduler's generation sampler) — O(file) per poll, O(file^2) per run.
+:class:`JsonlTail` keeps a byte offset instead, mirroring the HTTP API's
+``?since=`` cursor semantics at the file layer:
+
+* only bytes past the offset are read on each :meth:`poll`;
+* a **torn tail** (an append caught mid-write: no trailing newline yet)
+  is left unconsumed — the offset stops at the last complete line and
+  the torn bytes are re-read whole on a later poll;
+* **truncation** (the file shrank — a resume rewound ``metrics.jsonl``
+  to its checkpoint boundary) resets the offset to zero so the rewritten
+  prefix is re-delivered; callers that de-duplicate (e.g. by generation
+  number, as ``--follow`` does) see each logical row once;
+* a missing file is not an error — it just has no rows yet.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+
+class JsonlTail:
+    """Cursor over one append-mostly JSONL file (see module docstring)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        #: Byte offset of the first unconsumed byte.
+        self.offset = 0
+
+    def __repr__(self) -> str:
+        return f"JsonlTail({str(self.path)!r}, offset={self.offset})"
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """Decoded rows appended since the last poll (possibly none).
+
+        Undecodable complete lines are skipped (the same tolerance every
+        JSONL reader here applies); an incomplete final line is left for
+        the next poll.
+        """
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            # Vanished or not created yet: restart from the beginning
+            # when it (re)appears.
+            self.offset = 0
+            return []
+        if size < self.offset:
+            self.offset = 0  # truncated (resume rewind): re-deliver
+        if size == self.offset:
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            blob = handle.read(size - self.offset)
+        end = blob.rfind(b"\n")
+        if end < 0:
+            return []  # torn tail only — wait for the newline
+        complete, self.offset = blob[: end + 1], self.offset + end + 1
+        rows: List[Dict[str, Any]] = []
+        for line in complete.splitlines():
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(row, dict):
+                rows.append(row)
+        return rows

@@ -13,6 +13,9 @@ A run directory is the durable record of one experiment:
     champion.json             best genome so far (repro run --save format)
     result.json               final RunResult.summary() — present only
                               when the run finished cleanly
+    telemetry.jsonl           out-of-band span/counter telemetry — present
+                              only when the run was traced (repro.obs);
+                              never part of the byte-identity contract
 ```
 
 :class:`RunDir` is the one place that knows this layout; everything else
@@ -34,6 +37,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..api.spec import ExperimentSpec
 from ..neat.config import NEATConfig
+from ..obs.tracer import TELEMETRY_FILENAME
 from ..neat.genome import Genome
 from ..neat.serialize import (
     DeserializationError,
@@ -96,6 +100,10 @@ class RunDir:
     @property
     def checkpoints_path(self) -> Path:
         return self.path / CHECKPOINT_DIRNAME
+
+    @property
+    def telemetry_path(self) -> Path:
+        return self.path / TELEMETRY_FILENAME
 
     def checkpoint_path(self, generation: int) -> Path:
         return self.checkpoints_path / f"gen-{generation:05d}.json"

@@ -40,6 +40,7 @@ from ..api.experiment import Experiment
 from ..api.result import GenerationMetrics, RunResult
 from ..api.spec import ExperimentSpec
 from ..neat.population import Population
+from .. import obs
 from .artifacts import RunDir, RunError
 from .locking import RunDirLock
 
@@ -81,12 +82,13 @@ class RunWriter:
             self.checkpoint(population)
 
     def checkpoint(self, population: Population) -> None:
-        self.run_dir.write_checkpoint(population.to_state())
-        self._last_checkpoint_generation = population.generation
-        if population.best_genome is not None:
-            self.run_dir.write_champion(
-                population.best_genome, population.config
-            )
+        with obs.span("checkpoint", generation=population.generation):
+            self.run_dir.write_checkpoint(population.to_state())
+            self._last_checkpoint_generation = population.generation
+            if population.best_genome is not None:
+                self.run_dir.write_champion(
+                    population.best_genome, population.config
+                )
 
     def finalize(self, result: RunResult, complete: bool = True) -> None:
         """Seal the run: final checkpoint, champion — and, for a run
@@ -146,6 +148,7 @@ def run_in_dir(
     on_state: Optional[StateObserver] = None,
     should_stop: Optional[ShouldStop] = None,
     lock_stale_after: Optional[float] = None,
+    trace: Optional[bool] = None,
     **experiment_kwargs: Any,
 ) -> RunResult:
     """Run an experiment with durable artifacts in ``run_dir``.
@@ -174,6 +177,12 @@ def run_in_dir(
     in-progress) and resumes bit-identically later — the
     checkpoint-yield-resume preemption primitive of ``repro.serve``.
 
+    ``trace=True`` (or the ``REPRO_TRACE`` environment variable when
+    ``trace`` is ``None``) appends span/counter telemetry to
+    ``telemetry.jsonl`` in the run directory — strictly out-of-band:
+    every other artifact stays byte-identical to an untraced run (see
+    :mod:`repro.obs` and ``docs/observability.md``).
+
     Returns the same :class:`repro.api.RunResult` a plain
     :meth:`Experiment.run` would, with ``metrics`` covering the *whole*
     trajectory (persisted prefix + freshly run generations).
@@ -190,9 +199,10 @@ def run_in_dir(
     lock_kwargs: Dict[str, Any] = {}
     if lock_stale_after is not None:
         lock_kwargs["stale_after"] = lock_stale_after
+    if trace is None:
+        trace = obs.env_trace_enabled()
     with RunDirLock(rd.path, **lock_kwargs):
-        return _run_in_locked_dir(
-            spec, rd,
+        locked_kwargs = dict(
             resume=resume,
             explicit_resume=explicit_resume,
             checkpoint_every=checkpoint_every,
@@ -202,6 +212,12 @@ def run_in_dir(
             should_stop=should_stop,
             **experiment_kwargs,
         )
+        if trace:
+            with obs.tracing(rd.telemetry_path), obs.span(
+                "run", run_dir=str(rd.path), resume=bool(resume)
+            ):
+                return _run_in_locked_dir(spec, rd, **locked_kwargs)
+        return _run_in_locked_dir(spec, rd, **locked_kwargs)
 
 
 def _run_in_locked_dir(

@@ -105,6 +105,10 @@ class ServeClient:
         text = self._request("GET", path).decode()
         return [json.loads(line) for line in text.splitlines() if line.strip()]
 
+    def metrics_text(self) -> str:
+        """The fleet's ``GET /metrics`` Prometheus text exposition."""
+        return self._request("GET", "/metrics").decode()
+
     def events(self, job_id: str) -> List[Dict[str, Any]]:
         text = self._request("GET", f"/jobs/{quote(job_id)}/events").decode()
         return [json.loads(line) for line in text.splitlines() if line.strip()]

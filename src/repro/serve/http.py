@@ -24,6 +24,10 @@ GET    ``/jobs/<id>/metrics``       the run's ``metrics.jsonl`` as ndjson;
                                     ``generation >= G`` (poll-to-follow)
 GET    ``/jobs/<id>/events``        the job's event log as ndjson
 GET    ``/jobs/<id>/champion``      current champion genome JSON
+GET    ``/metrics``                 fleet state in Prometheus text
+                                    exposition format (plus the
+                                    scheduler's counters/histograms when
+                                    the server was given its registry)
 ====== ============================ ========================================
 
 Errors come back as ``{"error": "..."}`` with 400 (bad request,
@@ -47,6 +51,7 @@ DEFAULT_PORT = 8642
 
 _NDJSON = "application/x-ndjson"
 _JSON = "application/json"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _ApiError(Exception):
@@ -150,6 +155,8 @@ class _JobApiHandler(BaseHTTPRequestHandler):
                 self._get_events(job_id)
             elif head == "jobs" and action == "champion":
                 self._get_champion(job_id)
+            elif head == "metrics" and job_id is None:
+                self._get_prometheus()
             else:
                 raise _ApiError(404, f"no such route: {self.path}")
         except _ApiError as exc:
@@ -158,6 +165,14 @@ class _JobApiHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": str(exc.args[0])})
         except JobStoreError as exc:
             self._send_json(400, {"error": str(exc)})
+
+    def _get_prometheus(self) -> None:
+        from ..obs import prometheus_text
+
+        registry = getattr(self.server, "registry", None)
+        self._send(
+            200, prometheus_text(self.store, registry).encode(), _PROM
+        )
 
     def _get_healthz(self) -> None:
         # "other" absorbs states this server version does not know (a
@@ -256,10 +271,16 @@ class JobApiServer:
         store: Union[JobStore, str],
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
+        registry: Optional[Any] = None,
     ) -> None:
         self.store = store if isinstance(store, JobStore) else JobStore(store)
+        #: A :class:`repro.obs.MetricsRegistry` rendered into
+        #: ``GET /metrics`` after the store-derived gauges — pass the
+        #: scheduler's so scrapes see its counters and histograms.
+        self.registry = registry
         self.httpd = ThreadingHTTPServer((host, port), _JobApiHandler)
         self.httpd.store = self.store  # type: ignore[attr-defined]
+        self.httpd.registry = registry  # type: ignore[attr-defined]
         self.httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
 

@@ -99,7 +99,14 @@ class JobRecord:
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
     max_retries: int = 2
     state: str = QUEUED
+    #: Crash retries consumed (counted against ``max_retries``).
     attempts: int = 0
+    #: Times the job was requeued through no fault of its own — stale
+    #: heartbeat after a scheduler death, or scheduler-initiated
+    #: termination during shutdown.  Never counted against
+    #: ``max_retries``: a crash-reclaimed job must not exhaust its
+    #: retry budget spuriously.
+    reclaims: int = 0
     created_at: float = 0.0
     updated_at: float = 0.0
     #: Earliest dispatch time (retry backoff); 0 means "now".
@@ -364,6 +371,14 @@ class JobStore:
             return self.error_path(job_id).read_text()
         except FileNotFoundError:
             return None
+
+    def clear_worker_error(self, job_id: str) -> None:
+        """Drop a previous attempt's ``error.txt`` so the error channel
+        always belongs to the worker currently (or last) dispatched."""
+        try:
+            self.error_path(job_id).unlink()
+        except FileNotFoundError:
+            pass
 
     # -- derived status ---------------------------------------------------
 

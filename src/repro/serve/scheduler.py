@@ -36,6 +36,7 @@ import time
 import traceback
 from typing import Callable, Dict, List, Optional, Union
 
+from ..obs import JsonlTail, MetricsRegistry
 from ..runs.locking import RunDirLock, read_lock
 from ..runs.runner import run_in_dir
 from .jobs import (
@@ -109,6 +110,11 @@ class Scheduler:
     stale_after:
         Lock-heartbeat age past which a ``running`` job with no live
         worker here is reclaimed.
+    registry:
+        A :class:`repro.obs.MetricsRegistry` to instrument into (one is
+        created when omitted).  ``GET /metrics`` renders it when the
+        HTTP API server is given the same registry (``repro serve``
+        wires this up).
     """
 
     def __init__(
@@ -118,6 +124,7 @@ class Scheduler:
         poll_interval: float = 0.2,
         backoff_base: float = 1.0,
         stale_after: float = DEFAULT_STALE_AFTER,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -127,6 +134,44 @@ class Scheduler:
         self.backoff_base = backoff_base
         self.stale_after = stale_after
         self._procs: Dict[str, multiprocessing.Process] = {}
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._m_dispatches = self.metrics.counter(
+            "repro_dispatches_total",
+            "Worker processes launched (job starts and resumes).",
+        )
+        self._m_preempt_requests = self.metrics.counter(
+            "repro_preempt_requests_total",
+            "Preempt flags raised by the priority scheduler.",
+        )
+        self._m_preemptions = self.metrics.counter(
+            "repro_preemptions_total",
+            "Workers that yielded at a checkpoint boundary and were "
+            "requeued.",
+        )
+        self._m_retries = self.metrics.counter(
+            "repro_retries_total",
+            "Crashed-worker retries scheduled with backoff (counted "
+            "against max_retries).",
+        )
+        self._m_reclaims = self.metrics.counter(
+            "repro_reclaims_total",
+            "Jobs requeued through no fault of their own (stale "
+            "heartbeat, scheduler-initiated termination); never "
+            "counted against max_retries.",
+        )
+        self._m_settled = self.metrics.counter(
+            "repro_jobs_settled_total",
+            "Jobs settled by terminal-or-requeue outcome.",
+        )
+        self._m_generation_seconds = self.metrics.histogram(
+            "repro_generation_seconds",
+            "Per-generation latency of running jobs, approximated from "
+            "metrics.jsonl growth between scheduler polls.",
+        )
+        # Per running job: an incremental metrics.jsonl cursor plus the
+        # monotonic instant of its last observed growth.
+        self._tails: Dict[str, JsonlTail] = {}
+        self._tail_marks: Dict[str, float] = {}
 
     # -- queries ----------------------------------------------------------
 
@@ -155,7 +200,32 @@ class Scheduler:
                 continue
             proc.join()
             del self._procs[job_id]
+            self._sample_latency(job_id)  # rows laid down since last poll
+            self._tails.pop(job_id, None)
+            self._tail_marks.pop(job_id, None)
             self._settle(job_id, proc.exitcode or 0)
+
+    def _sample_latency(self, job_id: str) -> None:
+        """Feed the generation-latency histogram from one job's
+        ``metrics.jsonl`` growth: N new rows since the last observation
+        spread the elapsed wall time evenly — an approximation at
+        poll-interval resolution, not a per-generation stopwatch."""
+        tail = self._tails.get(job_id)
+        if tail is None:
+            return
+        rows = tail.poll()
+        if not rows:
+            return
+        now = time.monotonic()
+        mark = self._tail_marks.get(job_id, now)
+        per_row = max(0.0, now - mark) / len(rows)
+        for _ in rows:
+            self._m_generation_seconds.observe(per_row)
+        self._tail_marks[job_id] = now
+
+    def _sample_latencies(self) -> None:
+        for job_id in list(self._procs):
+            self._sample_latency(job_id)
 
     def _settle(self, job_id: str, exitcode: int) -> None:
         """Record the outcome of a finished worker from its run dir."""
@@ -177,6 +247,7 @@ class Scheduler:
                 generations_done=int(result.get("generations", 0)),
                 converged=bool(result.get("converged", False)),
             )
+            self._m_settled.inc(outcome="done")
         elif exitcode == 0 and self.store.cancel_requested(job_id):
             self.store.clear_cancel(job_id)
             self.store.clear_preempt(job_id)
@@ -187,6 +258,7 @@ class Scheduler:
                 worker_pid=None,
                 generations_done=generations_done,
             )
+            self._m_settled.inc(outcome="cancelled")
         elif exitcode == 0:
             # Clean exit, no result: the worker yielded at a checkpoint.
             self.store.clear_preempt(job_id)
@@ -196,6 +268,28 @@ class Scheduler:
                 worker_pid=None,
                 generations_done=generations_done,
             )
+            self._m_preemptions.inc()
+            self._m_settled.inc(outcome="preempted")
+        elif (
+            self.store.preempt_requested(job_id)
+            and self.store.read_worker_error(job_id) is None
+        ):
+            # The worker died without raising, after being asked to
+            # yield — the scheduler's own shutdown terminate, not a job
+            # fault.  Requeue as a reclaim: the job keeps its retry
+            # budget (error.txt is cleared at dispatch, so a missing
+            # file really means this attempt did not crash).
+            self.store.clear_preempt(job_id)
+            self.store.transition(
+                job_id,
+                QUEUED,
+                event="reclaimed",
+                worker_pid=None,
+                reclaims=record.reclaims + 1,
+                generations_done=generations_done,
+            )
+            self._m_reclaims.inc()
+            self._m_settled.inc(outcome="reclaimed")
         else:
             error = (
                 self.store.read_worker_error(job_id)
@@ -211,6 +305,7 @@ class Scheduler:
                     error=error,
                     generations_done=generations_done,
                 )
+                self._m_settled.inc(outcome="failed")
             else:
                 delay = self.backoff_base * 2 ** (attempts - 1)
                 self.store.transition(
@@ -223,6 +318,8 @@ class Scheduler:
                     not_before=time.time() + delay,
                     generations_done=generations_done,
                 )
+                self._m_retries.inc()
+                self._m_settled.inc(outcome="retried")
 
     def _reclaim(self, records: List[JobRecord]) -> None:
         """Requeue ``running`` jobs whose worker is provably gone —
@@ -240,7 +337,9 @@ class Scheduler:
                     QUEUED,
                     event="reclaimed",
                     worker_pid=None,
+                    reclaims=record.reclaims + 1,
                 )
+                self._m_reclaims.inc()
 
     def _cancel_waiting(self, records: List[JobRecord]) -> None:
         """A cancel that raced a preemption lands here: the job is back
@@ -276,6 +375,7 @@ class Scheduler:
                 by=challenger.id,
                 challenger_priority=challenger.priority,
             )
+            self._m_preempt_requests.inc()
 
     def _dispatch(self, records: List[JobRecord]) -> None:
         by_id = {r.id: r for r in records}
@@ -283,6 +383,10 @@ class Scheduler:
             if len(self._procs) >= self.workers:
                 break
             record = by_id[record.id]
+            # The error channel must belong to the attempt being
+            # launched — a lingering error.txt from an earlier crash
+            # would misclassify this attempt's outcome at settle time.
+            self.store.clear_worker_error(record.id)
             proc = multiprocessing.Process(
                 target=_job_worker,
                 args=(str(self.store.root), record.id),
@@ -297,12 +401,20 @@ class Scheduler:
                 worker_pid=proc.pid,
             )
             self._procs[record.id] = proc
+            self._m_dispatches.inc()
+            # Start the latency cursor past rows already on disk so a
+            # resumed job's prefix is not observed as one giant burst.
+            tail = JsonlTail(self.store.run_dir(record.id).metrics_path)
+            tail.poll()
+            self._tails[record.id] = tail
+            self._tail_marks[record.id] = time.monotonic()
 
     # -- driving ----------------------------------------------------------
 
     def step(self) -> None:
         """One scheduling round: reap, reclaim, cancel, preempt, dispatch."""
         self._reap()
+        self._sample_latencies()
         records = self.store.list_jobs()
         self._reclaim(records)
         self._cancel_waiting(records)

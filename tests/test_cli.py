@@ -704,3 +704,81 @@ def test_submit_url_unreachable_clean_error(capsys):
         "--generations", "2", "--population", "10",
     ]) == 2
     assert "cannot reach" in capsys.readouterr().err
+
+
+def test_run_trace_requires_a_run_dir(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "CartPole-v0", "--generations", "2", "--trace"])
+    assert "--run-dir" in str(excinfo.value)
+
+
+def test_run_trace_then_trace_command(tmp_path, capsys):
+    run_dir = str(tmp_path / "run")
+    assert main([
+        "run", "CartPole-v0", "--generations", "2", "--population", "10",
+        "--max-steps", "30", "--fitness-threshold", "1000",
+        "--run-dir", run_dir, "--trace",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry in" in out
+    assert (tmp_path / "run" / "telemetry.jsonl").exists()
+
+    assert main(["trace", run_dir]) == 0
+    out = capsys.readouterr().out
+    assert "Phase breakdown" in out
+    assert "evaluate" in out and "reproduce" in out
+
+    assert main(["trace", run_dir, "--export", "chrome"]) == 0
+    out = capsys.readouterr().out
+    assert "perfetto" in out
+    trace_path = tmp_path / "run" / "trace.json"
+    assert trace_path.exists()
+    import json as _json
+    trace = _json.loads(trace_path.read_text())
+    assert trace["traceEvents"]
+
+
+def test_trace_missing_telemetry_clean_error(tmp_path):
+    (tmp_path / "run").mkdir()
+    with pytest.raises(SystemExit) as excinfo:
+        main(["trace", str(tmp_path / "run")])
+    assert "telemetry.jsonl" in str(excinfo.value)
+    assert "--trace" in str(excinfo.value)
+
+
+def test_top_once_renders_the_fleet(tmp_path, capsys):
+    root = str(tmp_path / "serve-root")
+    assert main([
+        "submit", "CartPole-v0", "--root", root, "--generations", "2",
+        "--population", "10", "--max-steps", "30",
+    ]) == 0
+    capsys.readouterr()
+    assert main(["top", root, "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "Fleet:" in out
+    assert "job-000001" in out
+    assert "queue_depth=1" in out
+
+
+def test_job_follow_streams_metrics_from_the_tail(tmp_path, capsys):
+    root = str(tmp_path / "serve-root")
+    assert main([
+        "submit", "CartPole-v0", "--root", root, "--generations", "3",
+        "--population", "10", "--max-steps", "30", "--fitness-threshold",
+        "1000",
+    ]) == 0
+    assert main([
+        "serve", root, "--workers", "1", "--until-idle", "--no-http",
+        "--poll-interval", "0.1", "--timeout", "300",
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "job", "job-000001", "--root", root, "--follow",
+        "--poll-interval", "0.05",
+    ]) == 0
+    out = capsys.readouterr().out
+    # Every generation printed exactly once, even though the reader
+    # polls repeatedly (byte-offset tail, not whole-file re-reads).
+    for generation in (0, 1, 2):
+        assert out.count(f"gen {generation}:") == 1
+    assert "job-000001: done" in out

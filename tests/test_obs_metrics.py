@@ -1,0 +1,294 @@
+"""Metrics registry, Prometheus exposition, and the ``GET /metrics`` route.
+
+The exposition checks use a minimal line-format validator written here
+against the text format 0.0.4 spec — no prometheus client dependency.
+"""
+
+import re
+import threading
+import urllib.request
+
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.obs import (
+    Counter,
+    MetricsRegistry,
+    prometheus_text,
+    render_top,
+    snapshot_fleet,
+)
+from repro.obs.metrics import escape_label_value
+from repro.runs.locking import RunDirLock
+from repro.serve import (
+    DONE,
+    RUNNING,
+    JobApiServer,
+    JobStore,
+    Scheduler,
+    ServeClient,
+)
+
+# -- a minimal exposition-format validator (test-local, no client dep) ------
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABELS = r'\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"' \
+          r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}'
+_VALUE = r"(?:[+-]?Inf|NaN|[+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)"
+SAMPLE_RE = re.compile(rf"^({_NAME})(?:{_LABELS})? {_VALUE}$")
+HELP_RE = re.compile(rf"^# HELP ({_NAME}) \S.*$")
+TYPE_RE = re.compile(
+    rf"^# TYPE ({_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def validate_exposition(text):
+    """Assert ``text`` is well-formed exposition; return sample names.
+
+    Checks line shapes, that every sample belongs to a # TYPE'd family
+    (histogram samples fold back to their base name), and that HELP/TYPE
+    precede the family's samples.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    typed, samples = {}, []
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            assert HELP_RE.match(line), f"bad HELP line: {line!r}"
+            continue
+        if line.startswith("# TYPE "):
+            match = TYPE_RE.match(line)
+            assert match, f"bad TYPE line: {line!r}"
+            typed[match.group(1)] = match.group(2)
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = SAMPLE_RE.match(line)
+        assert match, f"bad sample line: {line!r}"
+        name = match.group(1)
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in typed or base in typed, f"sample {name!r} has no TYPE"
+        samples.append(name)
+    return samples
+
+
+# -- registry unit tests ----------------------------------------------------
+
+
+def test_counter_renders_and_only_goes_up():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_things_total", "Things counted.")
+    text = registry.render()
+    assert "repro_things_total 0" in text  # zero-filled before first inc
+    counter.inc()
+    counter.inc(2.0)
+    assert counter.value() == 3.0
+    assert "repro_things_total 3" in registry.render()
+    with pytest.raises(ValueError):
+        counter.inc(-1.0)
+    validate_exposition(registry.render())
+
+
+def test_labelled_samples_sort_and_escape():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_outcomes_total", "By outcome.")
+    counter.inc(outcome="retried")
+    counter.inc(outcome="done")
+    counter.inc(outcome='we"ird\\path\nx')
+    lines = [
+        line for line in registry.render().splitlines()
+        if not line.startswith("#")
+    ]
+    assert lines[0].startswith('repro_outcomes_total{outcome="done"}')
+    assert '\\"ird\\\\path\\nx' in lines[-1]
+    validate_exposition(registry.render())
+    assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+def test_gauge_has_no_default_sample_until_set():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("repro_depth", "A depth.")
+    assert gauge.value() is None
+    rendered = registry.render()
+    assert "# TYPE repro_depth gauge" in rendered
+    assert "\nrepro_depth " not in rendered
+    gauge.set(2.5)
+    gauge.set(1, job="job-000001")
+    assert "repro_depth 2.5" in registry.render()
+    validate_exposition(registry.render())
+
+
+def test_histogram_buckets_are_cumulative():
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "repro_seconds", "Latency.", buckets=(0.1, 1.0, 10.0)
+    )
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    text = registry.render()
+    assert 'repro_seconds_bucket{le="0.1"} 1' in text
+    assert 'repro_seconds_bucket{le="1"} 3' in text
+    assert 'repro_seconds_bucket{le="10"} 4' in text
+    assert 'repro_seconds_bucket{le="+Inf"} 5' in text
+    assert "repro_seconds_count 5" in text
+    assert "repro_seconds_sum 56.05" in text
+    assert histogram.count() == 5
+    validate_exposition(text)
+
+
+def test_registry_reregistration_is_idempotent_but_kind_checked():
+    registry = MetricsRegistry()
+    first = registry.counter("repro_x_total", "X.")
+    assert registry.counter("repro_x_total", "different help") is first
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("repro_x_total", "X.")
+
+
+def test_empty_registry_renders_empty():
+    assert MetricsRegistry().render() == ""
+
+
+def test_concurrent_updates_and_renders_are_safe():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_bumps_total", "Bumps.")
+    histogram = registry.histogram("repro_obs_seconds", "Obs.")
+    stop = threading.Event()
+    rendered = []
+
+    def bump():
+        while not stop.is_set():
+            counter.inc(outcome="a")
+            histogram.observe(0.01)
+
+    def scrape():
+        for _ in range(200):
+            rendered.append(registry.render())
+
+    bumper = threading.Thread(target=bump)
+    bumper.start()
+    try:
+        scrape()
+    finally:
+        stop.set()
+        bumper.join()
+    for text in rendered[::50]:
+        validate_exposition(text)
+
+
+# -- fleet snapshot and /metrics --------------------------------------------
+
+
+def spec_dict(**overrides):
+    defaults = dict(
+        env_id="CartPole-v0", max_generations=4, pop_size=12, seed=3,
+        max_steps=40,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults).to_dict()
+
+
+def test_prometheus_text_tracks_job_state_transitions(tmp_path):
+    store = JobStore(tmp_path / "root")
+    text = prometheus_text(store)
+    validate_exposition(text)
+    assert 'repro_jobs{state="queued"} 0' in text
+    assert "repro_queue_depth 0" in text
+
+    record = store.submit(spec_dict())
+    text = prometheus_text(store)
+    assert 'repro_jobs{state="queued"} 1' in text
+    assert "repro_queue_depth 1" in text
+    assert f'repro_job_generations_done{{job="{record.id}"}} 0' in text
+
+    store.transition(record.id, RUNNING, worker_pid=1)
+    rd = store.run_dir(record.id)
+    rd.create()
+    with RunDirLock(rd.path):  # a live heartbeat to age against
+        text = prometheus_text(store)
+        assert 'repro_jobs{state="queued"} 0' in text
+        assert 'repro_jobs{state="running"} 1' in text
+        assert "repro_running_jobs 1" in text
+        assert "repro_queue_depth 0" in text
+        assert f'repro_heartbeat_age_seconds{{job="{record.id}"}}' in text
+
+    store.transition(record.id, DONE, worker_pid=None, generations_done=4)
+    text = prometheus_text(store)
+    validate_exposition(text)
+    assert 'repro_jobs{state="done"} 1' in text
+    assert "repro_heartbeat_age_seconds{" not in text
+    assert "repro_job_generations_done{" not in text  # terminal: dropped
+
+
+def test_metrics_route_serves_exposition_with_registry(tmp_path):
+    store = JobStore(tmp_path / "root")
+    scheduler = Scheduler(store, workers=1, poll_interval=0.05)
+    with JobApiServer(store, port=0, registry=scheduler.metrics) as server:
+        client = ServeClient(server.url)
+        client.submit(spec_dict(max_generations=2))
+        scheduler.run_until_idle(timeout=300)
+        text = client.metrics_text()
+        validate_exposition(text)
+        # store-derived gauges and scheduler counters on one surface
+        assert 'repro_jobs{state="done"} 1' in text
+        assert "repro_dispatches_total 1" in text
+        assert 'repro_jobs_settled_total{outcome="done"} 1' in text
+        assert "# TYPE repro_generation_seconds histogram" in text
+        assert "repro_generation_seconds_count" in text
+        with urllib.request.urlopen(server.url + "/metrics") as response:
+            content_type = response.headers["Content-Type"]
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_metrics_route_without_registry_still_serves_gauges(tmp_path):
+    store = JobStore(tmp_path / "root")
+    with JobApiServer(store, port=0) as server:
+        text = ServeClient(server.url).metrics_text()
+    validate_exposition(text)
+    assert "repro_jobs{" in text
+    assert "repro_dispatches_total" not in text  # no scheduler attached
+
+
+def test_concurrent_scrapes_are_safe(tmp_path):
+    store = JobStore(tmp_path / "root")
+    store.submit(spec_dict())
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_churn_total", "Churn.")
+    with JobApiServer(store, port=0, registry=registry) as server:
+        client = ServeClient(server.url)
+        failures = []
+
+        def scrape():
+            try:
+                for _ in range(20):
+                    validate_exposition(client.metrics_text())
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                failures.append(exc)
+
+        def churn():
+            for _ in range(500):
+                counter.inc(outcome="x")
+
+        threads = [threading.Thread(target=scrape) for _ in range(4)]
+        threads.append(threading.Thread(target=churn))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    assert failures == []
+
+
+def test_snapshot_and_top_render(tmp_path):
+    store = JobStore(tmp_path / "root")
+    record = store.submit(spec_dict(), priority=5)
+    snapshot = snapshot_fleet(store, detail=True)
+    assert snapshot["states"]["queued"] == 1
+    assert snapshot["queue_depth"] == 1
+    assert snapshot["jobs"][0]["id"] == record.id
+    assert snapshot["jobs"][0]["heartbeat_age_s"] is None
+    screen = render_top(snapshot)
+    assert record.id in screen
+    assert "CartPole-v0" in screen
+    assert "queue_depth=1" in screen
+
+
+def test_counter_metric_standalone_zero_fill():
+    counter = Counter("repro_alone_total", "Alone.", threading.Lock())
+    assert counter.render()[-1] == "repro_alone_total 0"

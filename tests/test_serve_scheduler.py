@@ -156,6 +156,7 @@ def test_failed_job_retries_with_backoff_then_fails(tmp_path):
     final = store.load(record.id)
     assert final.state == FAILED
     assert final.attempts == 2
+    assert final.reclaims == 0  # crashes are retries, never reclaims
     events = [row["event"] for row in store.read_events(record.id)]
     assert "retry_scheduled" in events
     assert events[-1] == "failed"
@@ -194,7 +195,12 @@ def test_reclaim_requeues_job_with_stale_lock(tmp_path):
     scheduler = Scheduler(store, workers=1, poll_interval=0.02,
                           stale_after=5.0)
     scheduler._reclaim(store.list_jobs())
-    assert store.load(record.id).state == QUEUED
+    state = store.load(record.id)
+    assert state.state == QUEUED
+    # Reclaims have their own ledger: the job lost its worker through no
+    # fault of its own, so its retry budget is untouched.
+    assert state.reclaims == 1
+    assert state.attempts == 0
     events = [row["event"] for row in store.read_events(record.id)]
     assert "reclaimed" in events
 
@@ -209,6 +215,61 @@ def test_reclaim_leaves_live_lock_alone(tmp_path):
         scheduler = Scheduler(store, workers=1, stale_after=60.0)
         scheduler._reclaim(store.list_jobs())
         assert store.load(record.id).state == RUNNING
+
+
+def test_terminated_worker_after_preempt_is_reclaimed_not_retried(tmp_path):
+    """The shutdown path: a worker that missed its checkpoint grace and
+    was terminated exits nonzero *with the preempt flag set and no
+    traceback* — that is the scheduler's doing, not a job fault, so it
+    must requeue as a reclaim and never consume the retry budget."""
+    store = JobStore(tmp_path / "root")
+    record = store.submit(
+        spec_for(max_generations=30), checkpoint_every=5, max_retries=0
+    )
+    scheduler = Scheduler(store, workers=1, poll_interval=0.02)
+    scheduler.step()
+    store.request_preempt(record.id)
+    proc = scheduler._procs[record.id]
+    proc.terminate()  # what shutdown(grace=...) does to stragglers
+    proc.join()
+    scheduler._reap()
+
+    state = store.load(record.id)
+    assert state.state == QUEUED  # not FAILED, despite max_retries=0
+    assert state.reclaims == 1
+    assert state.attempts == 0
+    assert not store.preempt_requested(record.id)
+    events = [row["event"] for row in store.read_events(record.id)]
+    assert events[-1] == "reclaimed"
+    assert scheduler._m_reclaims.value() == 1
+    assert scheduler._m_retries.value() == 0
+
+    # ...and the job still finishes on a later scheduler pass.
+    scheduler.run_until_idle(timeout=300)
+    final = store.load(record.id)
+    assert final.state == DONE
+
+
+def test_crash_with_preempt_flag_is_still_a_retry(tmp_path):
+    """The inverse pin: a worker that *raised* (error.txt present) is a
+    genuine failure even if a preempt flag happened to be set — the
+    reclaim branch must not swallow real crashes."""
+    store = JobStore(tmp_path / "root")
+    record = store.submit(
+        {"env_id": "NoSuchEnv-v0", "max_generations": 2, "pop_size": 4},
+        max_retries=0,
+    )
+    scheduler = Scheduler(store, workers=1, poll_interval=0.02)
+    scheduler.step()
+    store.request_preempt(record.id)
+    proc = scheduler._procs[record.id]
+    proc.join()  # dies on its own: unknown environment
+    scheduler._reap()
+    final = store.load(record.id)
+    assert final.state == FAILED
+    assert final.attempts == 1
+    assert final.reclaims == 0
+    assert "NoSuchEnv-v0" in final.error
 
 
 def test_soc_jobs_run_but_are_never_preemption_victims(tmp_path):
