@@ -1,0 +1,133 @@
+"""Successive-halving DSE: the pruned-sweep budget gate.
+
+The paper's Fig. 11 design-space sweeps evaluate every configuration at
+the full budget.  The ``repro.dse.halving`` scheduler spends geometric
+rung budgets instead, pruning dominated points early while keeping every
+rung's Pareto frontier alive.  This bench holds the acceptance bound:
+
+* on a 64-point sweep the schedule costs <= 50% of the full run's
+  generation budget, and
+* the surviving frontier is *exactly* the full sweep's Pareto frontier
+  (survivors re-run the final rung at the full budget through the same
+  cache keys, so their metrics match the unpruned sweep bit-for-bit).
+
+A second test drives the same scheduler over the real Fig. 11 EvE
+replay design space to show the pruning applies to the paper's
+hardware axes, not just synthetic metrics.
+"""
+
+import pytest
+
+from conftest import get_replay_workload
+from repro.analysis.reporting import render_table
+from repro.api import ExperimentSpec
+from repro.dse import (
+    SuccessiveHalvingScheduler,
+    SweepRunner,
+    SweepSpec,
+    eve_replay_evaluator,
+    halving_budgets,
+)
+
+REPLAY_BASE = ExperimentSpec("Alien-ram-v0", pop_size=16, seed=0, max_steps=40)
+
+
+def _rung_table(result, title):
+    rows = [
+        [r["rung"], r["budget"], r["points"], r["promoted"], r["pruned"],
+         r["frontier"]]
+        for r in result.rungs
+    ]
+    return render_table(
+        ["rung", "budget", "points", "promoted", "pruned", "frontier"],
+        rows,
+        title=title,
+    )
+
+
+def test_halving_64_point_budget_bound(benchmark, emit):
+    n = 64
+    fitness = [float((i * 37) % n) for i in range(n)]
+    energy = [float((i * 11) % n + 1) for i in range(n)]
+
+    def evaluate(point):
+        seed = point.spec.seed
+        return {
+            "fitness": fitness[seed] * point.spec.max_generations,
+            "energy_j": energy[seed],
+        }
+
+    sweep = SweepSpec(
+        base=ExperimentSpec(
+            "CartPole-v0", max_generations=16, pop_size=8, max_steps=20
+        ),
+        axes={"seed": list(range(n))},
+    )
+    objectives = {"fitness": "max", "energy_j": "min"}
+    result = SuccessiveHalvingScheduler(
+        sweep, objectives, reduction=4,
+        evaluate=evaluate, evaluator_version="bench-halving-v1",
+    ).run()
+
+    emit(_rung_table(result, "Successive halving: 64-point synthetic sweep"))
+    emit(
+        f"scheduled {result.scheduled_generations}/"
+        f"{result.full_generations} generations "
+        f"({result.budget_fraction:.0%} of the full sweep)"
+    )
+
+    # The acceptance bound: <= 50% of the full generation budget ...
+    assert result.budget_fraction <= 0.5
+    # ... with the full sweep's Pareto frontier intact.
+    full = SweepRunner(
+        sweep, evaluate=evaluate, evaluator_version="bench-halving-v1"
+    ).run()
+    assert (
+        {row["point"] for row in full.pareto_front(objectives)}
+        == {row["point"] for row in result.pareto_front()}
+    )
+
+    benchmark(lambda: halving_budgets(16, reduction=4))
+
+
+def test_halving_on_fig11_replay_axes(benchmark, emit):
+    """Prune the Fig. 11 EvE design space with the real replay evaluator."""
+    config, population, plan = get_replay_workload()
+    evaluate = eve_replay_evaluator(config, population, plan)
+    sweep = SweepSpec(
+        base=REPLAY_BASE,
+        axes={
+            "platform.eve_pes": [2, 4, 8, 16, 32, 64],
+            "platform.noc": ["p2p", "multicast"],
+        },
+    )
+    objectives = {"cycles": "min", "sram_energy_uj": "min"}
+    result = SuccessiveHalvingScheduler(
+        sweep, objectives, reduction=3,
+        evaluate=evaluate, evaluator_version="bench-replay-v1",
+    ).run()
+
+    emit(_rung_table(result, "Successive halving: Fig 11 EvE replay axes"))
+    emit(
+        f"scheduled {result.scheduled_generations}/"
+        f"{result.full_generations} generations "
+        f"({result.budget_fraction:.0%} of the full sweep)"
+    )
+
+    full = SweepRunner(
+        sweep, evaluate=evaluate, evaluator_version="bench-replay-v1"
+    ).run()
+    assert (
+        {row["point"] for row in full.pareto_front(objectives)}
+        == {row["point"] for row in result.pareto_front()}
+    )
+    # rung tallies and terminal states agree: every non-survivor was
+    # pruned at some rung, and the schedule undercuts the full budget
+    pruned = [s for s in result.states.values() if s.startswith("pruned:")]
+    assert len(pruned) == sum(r["pruned"] for r in result.rungs)
+    assert (
+        result.scheduled_generations
+        < result.budgets[-1] * len(result.states)
+    )
+
+    benchmark(lambda: result.pareto_front())

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Dict, List, Optional
 
 from .analysis.reporting import (
@@ -457,33 +458,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_dse(args: argparse.Namespace) -> int:
-    from .dse import (
-        SweepRunner,
-        SweepSpec,
-        default_cache_dir,
-        parse_objectives,
-    )
+def _dse_report(args: argparse.Namespace, sweep, result) -> None:
+    """The shared tail of every dse mode: table, frontier, groups, export."""
+    from .dse import parse_objectives
 
-    sweep = SweepSpec.load(args.sweep)
-    cache_dir = None if args.no_cache else (
-        args.cache_dir or default_cache_dir()
-    )
-    runner = SweepRunner(
-        sweep, cache_dir=cache_dir, jobs=args.jobs, runs_dir=args.runs_dir
-    )
-
-    def progress(done: int, total: int, row) -> None:
-        if not args.quiet:
-            state = "cache" if row.get("cached") else "run"
-            axes = ", ".join(f"{k}={row[k]}" for k in sweep.axis_names)
-            print(f"  [{done}/{total}] {state:<5} {axes}")
-
-    print(
-        f"sweep: {len(sweep.expand())} points over axes "
-        f"{', '.join(sweep.axis_names)} ({sweep.strategy})"
-    )
-    result = runner.run(progress=progress)
     headers, rows = result.table()
     print()
     print(render_table(headers, rows, title=f"Design space: {args.sweep}"))
@@ -522,6 +500,184 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         result.to_csv(f"{args.export}.csv")
         result.to_json(f"{args.export}.json")
         print(f"exported {args.export}.csv and {args.export}.json")
+
+
+def _dse_distributed_runner(args: argparse.Namespace, sweep, cache_dir,
+                            metrics=None):
+    from .dse import DistributedSweepError, DistributedSweepRunner
+
+    if cache_dir is None:
+        raise DistributedSweepError(
+            "--worker/--watch need the point cache (drop --no-cache); "
+            "it is how workers publish results to each other"
+        )
+    return DistributedSweepRunner(
+        sweep,
+        cache_dir=cache_dir,
+        work_dir=args.work_dir,
+        runs_dir=args.runs_dir,
+        stale_after=args.stale_after,
+        poll_interval=args.poll_interval,
+        metrics=metrics,
+    )
+
+
+def _cmd_dse_worker(args: argparse.Namespace, sweep, cache_dir) -> int:
+    from . import obs
+
+    registry = obs.MetricsRegistry()
+    runner = _dse_distributed_runner(args, sweep, cache_dir, metrics=registry)
+    server = None
+    if args.metrics_port is not None:
+        server = obs.MetricsServer(registry, port=args.metrics_port).start()
+        print(f"metrics: http://127.0.0.1:{server.port}/metrics")
+    print(
+        f"worker {runner.worker_id}: draining {args.sweep} "
+        f"(work dir {runner.queue.work_dir})"
+    )
+
+    def progress(event: str, key: str) -> None:
+        if not args.quiet:
+            print(f"  {event:<9} {key[:12]}")
+
+    try:
+        tally = runner.drain(max_points=args.max_points, progress=progress)
+    finally:
+        if server is not None:
+            server.stop()
+    print(
+        f"worker done: evaluated {tally['evaluated']}, "
+        f"cache hits {tally['cache_hits']}, claims {tally['claims']}, "
+        f"reclaims {tally['reclaims']} ({tally['points']} points total)"
+    )
+    return 0
+
+
+def _cmd_dse_watch(args: argparse.Namespace, sweep, cache_dir) -> int:
+    from .dse import DistributedSweepError, parse_objectives
+
+    runner = _dse_distributed_runner(args, sweep, cache_dir)
+    objectives = parse_objectives(args.pareto) if args.pareto else None
+    deadline = (
+        time.monotonic() + args.timeout if args.timeout is not None else None
+    )
+    last_done = -1
+    while True:
+        status = runner.status()
+        if status["done"] != last_done and not args.quiet:
+            last_done = status["done"]
+            line = (
+                f"  {status['done']}/{status['points']} done, "
+                f"{status['claimed']} claimed"
+            )
+            if status["stale_claims"]:
+                line += f", {status['stale_claims']} stale"
+            if status["duplicate_evaluations"]:
+                line += (
+                    f", {status['duplicate_evaluations']} duplicate "
+                    "evaluations"
+                )
+            print(line, flush=True)
+            if objectives and not status["complete"]:
+                for row in runner.frontier(objectives):
+                    axes = ", ".join(
+                        f"{k}={row[k]}" for k in sweep.axis_names
+                    )
+                    print(f"    frontier: {axes}", flush=True)
+        if status["complete"]:
+            break
+        if deadline is not None and time.monotonic() > deadline:
+            raise DistributedSweepError(
+                f"watch timed out after {args.timeout:.0f}s with "
+                f"{status['points'] - status['done']} points outstanding"
+            )
+        time.sleep(args.poll_interval)
+    _dse_report(args, sweep, runner.collect())
+    return 0
+
+
+def _cmd_dse_halving(args: argparse.Namespace, sweep, cache_dir) -> int:
+    from .dse import SuccessiveHalvingScheduler, parse_objectives
+
+    objectives = parse_objectives(args.halving)
+    scheduler = SuccessiveHalvingScheduler(
+        sweep,
+        objectives,
+        reduction=args.reduction,
+        min_generations=args.min_generations,
+        cache_dir=cache_dir,
+        jobs=args.jobs,
+        runs_dir=args.runs_dir,
+    )
+    print(
+        f"halving: {len(sweep.expand())} points, rung budgets "
+        f"{scheduler.budgets} (reduction {args.reduction})"
+    )
+
+    def progress(done: int, total: int, row) -> None:
+        if not args.quiet:
+            state = "cache" if row.get("cached") else "run"
+            axes = ", ".join(f"{k}={row[k]}" for k in sweep.axis_names)
+            print(f"  [{done}/{total}] {state:<5} {axes}")
+
+    hres = scheduler.run(progress=progress)
+    print()
+    print(render_table(
+        ["rung", "budget", "points", "promoted", "pruned", "frontier"],
+        [[r["rung"], r["budget"], r["points"], r["promoted"], r["pruned"],
+          r["frontier"]] for r in hres.rungs],
+        title="Successive-halving rungs",
+    ))
+    print(
+        f"\nscheduled {hres.scheduled_generations}/"
+        f"{hres.full_generations} generations "
+        f"({hres.budget_fraction:.0%} of the full sweep)"
+    )
+    _dse_report(args, sweep, hres.to_result())
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from .dse import SweepRunner, SweepSpec, default_cache_dir
+
+    sweep = SweepSpec.load(args.sweep)
+    modes = [
+        name for name, active in (
+            ("--worker", args.worker),
+            ("--watch", args.watch),
+            ("--halving", args.halving is not None),
+        ) if active
+    ]
+    if len(modes) > 1:
+        raise SystemExit(
+            f"error: {' and '.join(modes)} are mutually exclusive"
+        )
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or default_cache_dir()
+    )
+    if args.worker:
+        return _cmd_dse_worker(args, sweep, cache_dir)
+    if args.watch:
+        return _cmd_dse_watch(args, sweep, cache_dir)
+    if args.halving is not None:
+        return _cmd_dse_halving(args, sweep, cache_dir)
+
+    runner = SweepRunner(
+        sweep, cache_dir=cache_dir, jobs=args.jobs, runs_dir=args.runs_dir
+    )
+
+    def progress(done: int, total: int, row) -> None:
+        if not args.quiet:
+            state = "cache" if row.get("cached") else "run"
+            axes = ", ".join(f"{k}={row[k]}" for k in sweep.axis_names)
+            print(f"  [{done}/{total}] {state:<5} {axes}")
+
+    print(
+        f"sweep: {len(sweep.expand())} points over axes "
+        f"{', '.join(sweep.axis_names)} ({sweep.strategy})"
+    )
+    result = runner.run(progress=progress)
+    _dse_report(args, sweep, result)
     return 0
 
 
@@ -1022,6 +1178,58 @@ def build_parser() -> argparse.ArgumentParser:
                           "report' and resumable on interruption)")
     dse.add_argument("--quiet", action="store_true",
                      help="suppress per-point progress lines")
+    dse.add_argument("--worker", action="store_true",
+                     help="run as a distributed sweep worker: claim "
+                          "pending points via atomic claim files in the "
+                          "shared work dir, evaluate them into the "
+                          "shared cache, and exit when the sweep is "
+                          "drained (start any number of workers on any "
+                          "number of hosts)")
+    dse.add_argument("--watch", action="store_true",
+                     help="follow a distributed sweep's progress "
+                          "(incremental frontier with --pareto) and "
+                          "print/export the collected table once every "
+                          "point is cached")
+    dse.add_argument("--halving", metavar="OBJECTIVES", default=None,
+                     help="successive-halving early stopping: run "
+                          "geometric max_generations rungs, promoting "
+                          "the top 1/reduction by the first objective "
+                          "plus every rung-Pareto-frontier point, e.g. "
+                          "'fitness:max,energy_j:min'")
+    dse.add_argument("--reduction", type=_positive_int, default=3,
+                     metavar="N",
+                     help="halving reduction factor (default 3): each "
+                          "rung promotes ~1/N of its points")
+    dse.add_argument("--min-generations", type=_positive_int, default=1,
+                     metavar="N", dest="min_generations",
+                     help="smallest halving rung budget (default 1)")
+    dse.add_argument("--work-dir", metavar="DIR", dest="work_dir",
+                     default=None,
+                     help="claim files + event ledger for --worker/"
+                          "--watch (default: a <cache-dir>.work/ "
+                          "subdirectory keyed by the sweep's content "
+                          "hash; never inside the cache itself)")
+    dse.add_argument("--stale-after", type=float, default=60.0,
+                     metavar="SECONDS", dest="stale_after",
+                     help="reclaim a claim whose heartbeat is older "
+                          "than this (default 60)")
+    dse.add_argument("--poll-interval", type=float, default=0.5,
+                     metavar="SECONDS", dest="poll_interval",
+                     help="worker/watch poll cadence while waiting on "
+                          "other workers (default 0.5)")
+    dse.add_argument("--timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="--watch: give up if the sweep is still "
+                          "unfinished after this long")
+    dse.add_argument("--max-points", type=_positive_int, default=None,
+                     metavar="N", dest="max_points",
+                     help="--worker: exit after evaluating N fresh "
+                          "points (fault-injection drills)")
+    dse.add_argument("--metrics-port", type=int, default=None,
+                     metavar="PORT", dest="metrics_port",
+                     help="--worker: serve claim/reclaim/evaluation "
+                          "counters at GET /metrics on this port "
+                          "(0 picks a free one)")
     dse.set_defaults(func=_cmd_dse)
 
     report = sub.add_parser(

@@ -18,7 +18,16 @@ sweeps, NoC ablations, cross-platform runtime/energy comparisons
   generations, runtime_s, energy_j, …) with Pareto-frontier extraction,
   group-by summaries and CSV/JSON export.
 * :class:`SweepCache` — the on-disk store; :func:`spec_key` /
-  :func:`point_key` are the stable content hashes.
+  :func:`point_key` / :func:`sweep_key` are the stable content hashes.
+* :class:`DistributedSweepRunner` — coordinator-free multi-process /
+  multi-host draining of one sweep over a shared filesystem: per-point
+  ``O_EXCL`` claim files with crash reclaim, an append-only event
+  ledger, and a ``collect()`` whose outputs are byte-identical to a
+  single-process run (CLI: ``repro dse --worker`` / ``--watch``).
+* :class:`SuccessiveHalvingScheduler` / :func:`run_halving` — early
+  stopping: geometric ``max_generations`` rungs with Pareto-aware
+  promotion, so dominated points stop early and no rung-frontier point
+  is ever pruned (CLI: ``repro dse --halving fitness:max,energy_j:min``).
 
 Quickstart::
 
@@ -47,6 +56,21 @@ from .cache import (
     default_cache_dir,
     point_key,
     spec_key,
+    sweep_key,
+)
+from .distributed import (
+    DistributedSweepError,
+    DistributedSweepRunner,
+    SweepWorkQueue,
+    default_work_dir,
+    read_events,
+)
+from .halving import (
+    HalvingError,
+    HalvingResult,
+    SuccessiveHalvingScheduler,
+    halving_budgets,
+    run_halving,
 )
 from .pareto import ObjectiveError, dominates, pareto_front, parse_objectives
 from .replay import EVE_REPLAY_EVALUATOR, eve_replay_evaluator
@@ -73,21 +97,32 @@ __all__ = [
     "HW_AXES",
     "METRIC_COLUMNS",
     "PLATFORM_AXES",
+    "DistributedSweepError",
+    "DistributedSweepRunner",
+    "HalvingError",
+    "HalvingResult",
     "ObjectiveError",
     "SPEC_AXES",
+    "SuccessiveHalvingScheduler",
     "SweepCache",
     "SweepPoint",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
     "SweepSpecError",
+    "SweepWorkQueue",
     "default_cache_dir",
+    "default_work_dir",
     "dominates",
     "evaluate_experiment_point",
     "eve_replay_evaluator",
+    "halving_budgets",
     "pareto_front",
     "parse_objectives",
     "point_key",
+    "read_events",
+    "run_halving",
     "run_sweep",
     "spec_key",
+    "sweep_key",
 ]

@@ -25,7 +25,7 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
 from ..api.spec import ExperimentSpec
-from .spec import SweepPoint
+from .spec import SweepPoint, SweepSpec
 
 #: Bump when the record layout or key payload changes shape.
 CACHE_FORMAT = 1
@@ -63,6 +63,21 @@ def point_key(
         "evaluator": evaluator,
         "spec": point.spec.to_dict(),
         "axes": dict(point.axes),
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def sweep_key(sweep: "SweepSpec", evaluator: str = EXPERIMENT_EVALUATOR) -> str:
+    """Content hash identifying one whole sweep (spec + evaluator).
+
+    The distributed executor keys its work directory (claims + event
+    ledger) on this, so workers handed the same sweep file land in the
+    same queue and sweeps never share claim state by accident.
+    """
+    payload = {
+        "format": CACHE_FORMAT,
+        "evaluator": evaluator,
+        "sweep": sweep.to_dict(),
     }
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 

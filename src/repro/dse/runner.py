@@ -308,8 +308,15 @@ class SweepRunner:
             point.spec.to_json(), run_dir=self._point_run_dir(key)
         )
 
-    def run(self, progress: Optional[ProgressObserver] = None) -> SweepResult:
-        points = self.sweep.expand()
+    def run(
+        self,
+        progress: Optional[ProgressObserver] = None,
+        points: Optional[Sequence[SweepPoint]] = None,
+    ) -> SweepResult:
+        """Run the sweep; ``points`` overrides the expansion with an
+        explicit subset (the successive-halving scheduler re-runs
+        surviving points at growing budgets this way)."""
+        points = list(points) if points is not None else self.sweep.expand()
         keys = [self._key(point) for point in points]
         rows: List[Optional[Dict[str, Any]]] = [None] * len(points)
         done = 0

@@ -26,10 +26,12 @@ from .fleet import prometheus_text, render_top, snapshot_fleet
 from .jsonl import JsonlTail
 from .metrics import (
     DEFAULT_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    MetricsServer,
 )
 from .tracer import (
     TELEMETRY_FILENAME,
@@ -54,6 +56,8 @@ __all__ = [
     "Histogram",
     "JsonlTail",
     "MetricsRegistry",
+    "MetricsServer",
+    "PROMETHEUS_CONTENT_TYPE",
     "Span",
     "TELEMETRY_FILENAME",
     "TRACE_ENV_VAR",

@@ -21,6 +21,7 @@ threads render — the concurrency the ThreadingHTTPServer test exercises.
 from __future__ import annotations
 
 import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 #: Default histogram buckets (seconds) — sized for generation latencies
@@ -248,3 +249,80 @@ class MetricsRegistry:
         for metric in metrics:
             lines.extend(metric.render())
         return "\n".join(lines) + "\n" if lines else ""
+
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """A standalone ``GET /metrics`` endpoint for one registry.
+
+    The serve subsystem embeds its registry in the job API's HTTP
+    server; processes without one — the distributed DSE workers — use
+    this instead.  ``port=0`` (the default) binds an ephemeral port;
+    read :attr:`port` after :meth:`start`.  Scrapes run on daemon
+    threads, so a hung scraper never blocks the worker loop.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("MetricsServer is not running")
+        return self._server.server_address[1]
+
+    def start(self) -> "MetricsServer":
+        registry = self.registry
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                if self.path.split("?", 1)[0] != "/metrics":
+                    self.send_error(404, "only /metrics lives here")
+                    return
+                body = registry.render().encode()
+                self.send_response(200)
+                self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *_args: Any) -> None:
+                pass  # scrapes are not worker output
+
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True,
+            name="metrics-server",
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()

@@ -45,8 +45,11 @@ from .artifacts import (
 )
 from .locking import (
     LOCK_FILENAME,
+    ClaimConflictError,
+    ClaimFile,
     RunDirLock,
     RunLockedError,
+    read_claim,
     read_lock,
 )
 from .report import (
@@ -72,12 +75,15 @@ __all__ = [
     "METRICS_FILENAME",
     "RESULT_FILENAME",
     "SPEC_FILENAME",
+    "ClaimConflictError",
+    "ClaimFile",
     "RunDir",
     "RunDirLock",
     "RunError",
     "RunLockedError",
     "RunReport",
     "RunWriter",
+    "read_claim",
     "read_lock",
     "export_reports",
     "fitness_table",

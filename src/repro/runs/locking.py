@@ -1,24 +1,26 @@
-"""Exclusive run-directory claims: one writer per run dir, ever.
+"""Exclusive on-disk claims: one owner per resource, crash-reclaimable.
 
-Durable runs made a latent race urgent: two processes that both open the
-same run directory would interleave ``metrics.jsonl`` appends and fight
-over checkpoints — silently, because every individual write is atomic.
-:class:`RunDirLock` closes the race with an on-disk claim file
-(``run.lock``) holding the owner's PID, host and a heartbeat timestamp:
+Two layers live here:
 
-* acquisition is an atomic ``O_CREAT | O_EXCL`` create — exactly one
-  process wins;
-* while held, a daemon thread refreshes ``heartbeat_at`` every
-  ``heartbeat_interval`` seconds, so observers (the ``repro.serve``
-  scheduler) can tell a live run from a dead one;
-* a lock whose owner died (same-host PID gone) or whose heartbeat is
-  older than ``stale_after`` seconds is *reclaimable*: the breaker
-  atomically renames the stale file aside (only one contender can win
-  the rename) and then takes the claim normally.
+* :class:`ClaimFile` — the generic protocol: an atomically-created
+  claim file (payload written aside, hard-linked into place — the link
+  fails like ``O_EXCL`` but the file appears with its content) holding
+  the owner's PID, host and a
+  heartbeat timestamp.  Exactly one contender wins the create; while
+  held, a daemon thread refreshes ``heartbeat_at``; a claim whose owner
+  is observably dead (same-host PID gone) or silent past ``stale_after``
+  seconds — or whose file is torn JSON (its writer died mid-claim) — is
+  *reclaimable*: the breaker atomically renames the stale file aside
+  (only one contender can win the rename) and then claims normally.
+* :class:`RunDirLock` — the run-directory specialisation (``run.lock``
+  inside the run dir), held by :func:`repro.runs.run_in_dir` for the
+  whole execution so two schedulers, a scheduler plus a CLI user, or
+  two CLI users can never corrupt one run directory between them.
 
-:func:`repro.runs.run_in_dir` holds this lock for the whole execution,
-so two schedulers, a scheduler plus a CLI user, or two CLI users can
-never corrupt one run directory between them.
+The distributed sweep executor (:mod:`repro.dse.distributed`) builds its
+per-point work queue on :class:`ClaimFile` directly: every pending sweep
+point is one claim file, so any number of worker processes on any number
+of hosts sharing the filesystem drain one sweep with no coordinator.
 """
 
 from __future__ import annotations
@@ -35,14 +37,18 @@ from .artifacts import RunError
 
 LOCK_FILENAME = "run.lock"
 
-#: A heartbeat older than this (seconds) marks the lock stale even when
+#: A heartbeat older than this (seconds) marks the claim stale even when
 #: the owner PID cannot be probed (e.g. it lives on another host).
 DEFAULT_STALE_AFTER = 60.0
 #: How often the holder refreshes ``heartbeat_at`` while running.
 DEFAULT_HEARTBEAT_INTERVAL = 5.0
 
 
-class RunLockedError(RunError):
+class ClaimConflictError(RunError):
+    """The resource is exclusively claimed by a live process."""
+
+
+class RunLockedError(ClaimConflictError):
     """The run directory is exclusively claimed by a live process."""
 
 
@@ -59,33 +65,66 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
-class RunDirLock:
-    """An exclusive, heartbeat-refreshed claim on one run directory.
+def read_claim(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """The payload of a claim file, or ``None``.
 
-    Use as a context manager (what :func:`repro.runs.run_in_dir` does)::
+    Returns ``None`` both when no claim exists and when the file is torn
+    (its writer died between create and write) — callers distinguish via
+    ``Path(path).exists()`` when they care.
+    """
+    try:
+        text = Path(path).read_text()
+    except (FileNotFoundError, IsADirectoryError):
+        return None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    return payload if isinstance(payload, dict) else None
 
-        with RunDirLock(run_dir):
-            ...  # sole writer of run_dir
 
+class ClaimFile:
+    """An exclusive, heartbeat-refreshed claim on one on-disk path.
+
+    Use as a context manager, or via :meth:`try_acquire` when losing the
+    race is an expected outcome (the distributed-sweep workers simply
+    move on to the next point)::
+
+        claim = ClaimFile(path, stale_after=30.0)
+        if claim.try_acquire():
+            try:
+                ...  # sole owner
+            finally:
+                claim.release()
+
+    ``extra`` is merged into the claim payload (e.g. a sweep point key
+    or a worker id) for observability; it never affects the protocol.
     ``stale_after`` and ``heartbeat_interval`` are tunable for tests and
     for schedulers that want faster crash detection.
     """
 
+    #: Raised by :meth:`acquire` on a live conflict; subclasses override.
+    conflict_error = ClaimConflictError
+
     def __init__(
         self,
-        run_dir: Union[str, Path],
+        path: Union[str, Path],
         stale_after: float = DEFAULT_STALE_AFTER,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        extra: Optional[Dict[str, Any]] = None,
     ) -> None:
         if stale_after <= 0:
             raise ValueError("stale_after must be > 0")
         if heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be > 0")
-        self.run_dir = Path(run_dir)
-        self.path = self.run_dir / LOCK_FILENAME
+        self.path = Path(path)
         self.stale_after = stale_after
         self.heartbeat_interval = heartbeat_interval
-        self._fd: Optional[int] = None
+        self.extra = dict(extra) if extra else {}
+        #: Stale claims this instance broke while acquiring — observers
+        #: (the distributed sweep worker) count these as reclaims.
+        self.reclaimed = 0
+        self._held = False
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -93,16 +132,16 @@ class RunDirLock:
 
     @property
     def held(self) -> bool:
-        return self._fd is not None
+        return self._held
 
     def read(self) -> Optional[Dict[str, Any]]:
-        """The current lock payload, or ``None`` when unlocked/torn."""
-        return read_lock(self.run_dir)
+        """The current claim payload, or ``None`` when unclaimed/torn."""
+        return read_claim(self.path)
 
     def is_stale(self, payload: Optional[Dict[str, Any]] = None) -> bool:
         """Is the recorded owner observably dead or silent too long?
 
-        A torn/unreadable lock file also counts as stale — its writer
+        A torn/unreadable claim file also counts as stale — its writer
         died mid-claim.
         """
         if payload is None:
@@ -112,7 +151,11 @@ class RunDirLock:
         if payload is None:
             return True
         heartbeat = payload.get("heartbeat_at", payload.get("acquired_at", 0))
-        if time.time() - float(heartbeat) > self.stale_after:
+        try:
+            heartbeat = float(heartbeat)
+        except (TypeError, ValueError):
+            return True  # unparseable payload: its writer is gone
+        if time.time() - heartbeat > self.stale_after:
             return True
         if payload.get("host") == socket.gethostname():
             pid = payload.get("pid")
@@ -120,71 +163,104 @@ class RunDirLock:
                 return True
         return False
 
+    def _describe_target(self) -> str:
+        return str(self.path)
+
     # -- acquire / release ------------------------------------------------
 
     def _payload(self) -> Dict[str, Any]:
         now = time.time()
-        return {
+        payload = {
             "pid": os.getpid(),
             "host": socket.gethostname(),
             "acquired_at": now,
             "heartbeat_at": now,
         }
+        payload.update(self.extra)
+        return payload
 
     def _try_break(self) -> None:
         """Move a stale claim aside; exactly one contender wins the rename."""
         aside = self.path.with_name(
-            f"{LOCK_FILENAME}.stale-{os.getpid()}-{time.monotonic_ns()}"
+            f"{self.path.name}.stale-{os.getpid()}-{time.monotonic_ns()}"
         )
         try:
             os.rename(self.path, aside)
         except FileNotFoundError:
             return  # another contender broke it first
+        self.reclaimed += 1
         try:
             aside.unlink()
         except OSError:
             pass
 
-    def acquire(self) -> "RunDirLock":
-        if self.held:
-            raise RunError(f"lock on {self.run_dir} is already held")
-        self.run_dir.mkdir(parents=True, exist_ok=True)
-        for attempt in range(3):
-            try:
-                fd = os.open(
-                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
-                )
-            except FileExistsError:
-                payload = self.read()
-                if self.is_stale(payload):
-                    self._try_break()
-                    continue
-                owner = "unknown process"
-                if payload:
-                    owner = (f"pid {payload.get('pid')} on "
-                             f"{payload.get('host')}")
-                raise RunLockedError(
-                    f"{self.run_dir} is claimed by {owner} "
-                    f"(lock file {self.path}); a stale claim becomes "
-                    f"reclaimable after {self.stale_after:.0f}s without a "
-                    "heartbeat"
-                )
+    def _take(self) -> bool:
+        """One atomic claim attempt; True on success, False on conflict.
+
+        The payload is written to a private temp file first and then
+        hard-linked into place — ``link`` fails with ``FileExistsError``
+        exactly like ``O_EXCL``, but the claim appears with its payload
+        already durable.  A direct O_EXCL create would expose a window
+        where a contender reads the just-created empty file, judges it
+        torn (= stale) and steals a live claim.
+        """
+        tmp = self.path.with_name(
+            f"{self.path.name}.tmp-{os.getpid()}-{time.monotonic_ns()}"
+        )
+        fd = os.open(tmp, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        try:
             os.write(fd, (json.dumps(self._payload(), sort_keys=True) + "\n")
                      .encode())
             os.fsync(fd)
+        finally:
             os.close(fd)
-            self._fd = 1  # sentinel: the claim is the file, not the fd
-            self._stop.clear()
-            self._thread = threading.Thread(
-                target=self._heartbeat_loop, daemon=True,
-                name=f"run-lock-heartbeat:{self.run_dir.name}",
-            )
-            self._thread.start()
-            return self
-        raise RunLockedError(
-            f"could not claim {self.run_dir}: lost the reclaim race "
-            "repeatedly"
+        try:
+            os.link(tmp, self.path)
+        except FileExistsError:
+            return False
+        finally:
+            try:
+                tmp.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._held = True
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._heartbeat_loop, daemon=True,
+            name=f"claim-heartbeat:{self.path.name}",
         )
+        self._thread.start()
+        return True
+
+    def try_acquire(self) -> bool:
+        """Claim without raising: True when won, False when a live owner
+        holds the path.  Stale claims are broken and retried."""
+        if self.held:
+            raise RunError(f"claim on {self._describe_target()} is "
+                           "already held")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        for _attempt in range(3):
+            if self._take():
+                return True
+            if not self.is_stale(self.read()):
+                return False
+            self._try_break()
+        return self._take()
+
+    def acquire(self) -> "ClaimFile":
+        if not self.try_acquire():
+            payload = self.read()
+            owner = "unknown process"
+            if payload:
+                owner = (f"pid {payload.get('pid')} on "
+                         f"{payload.get('host')}")
+            raise self.conflict_error(
+                f"{self._describe_target()} is claimed by {owner} "
+                f"(claim file {self.path}); a stale claim becomes "
+                f"reclaimable after {self.stale_after:.0f}s without a "
+                "heartbeat"
+            )
+        return self
 
     def heartbeat(self) -> None:
         """Refresh ``heartbeat_at`` in place (atomic rewrite)."""
@@ -210,17 +286,49 @@ class RunDirLock:
         if self._thread is not None:
             self._thread.join(timeout=self.heartbeat_interval + 1)
             self._thread = None
-        self._fd = None
+        self._held = False
         try:
             self.path.unlink()
         except FileNotFoundError:
             pass
 
-    def __enter__(self) -> "RunDirLock":
+    def __enter__(self) -> "ClaimFile":
         return self.acquire()
 
     def __exit__(self, *_exc) -> None:
         self.release()
+
+
+class RunDirLock(ClaimFile):
+    """An exclusive, heartbeat-refreshed claim on one run directory.
+
+    Use as a context manager (what :func:`repro.runs.run_in_dir` does)::
+
+        with RunDirLock(run_dir):
+            ...  # sole writer of run_dir
+    """
+
+    conflict_error = RunLockedError
+
+    def __init__(
+        self,
+        run_dir: Union[str, Path],
+        stale_after: float = DEFAULT_STALE_AFTER,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    ) -> None:
+        self.run_dir = Path(run_dir)
+        super().__init__(
+            self.run_dir / LOCK_FILENAME,
+            stale_after=stale_after,
+            heartbeat_interval=heartbeat_interval,
+        )
+
+    def _describe_target(self) -> str:
+        return str(self.run_dir)
+
+    def acquire(self) -> "RunDirLock":
+        super().acquire()
+        return self
 
 
 def read_lock(run_dir: Union[str, Path]) -> Optional[Dict[str, Any]]:
@@ -230,13 +338,4 @@ def read_lock(run_dir: Union[str, Path]) -> Optional[Dict[str, Any]]:
     (its writer died between create and write) — callers distinguish via
     ``(run_dir / LOCK_FILENAME).exists()`` when they care.
     """
-    path = Path(run_dir) / LOCK_FILENAME
-    try:
-        text = path.read_text()
-    except FileNotFoundError:
-        return None
-    try:
-        payload = json.loads(text)
-    except json.JSONDecodeError:
-        return None
-    return payload if isinstance(payload, dict) else None
+    return read_claim(Path(run_dir) / LOCK_FILENAME)

@@ -15,7 +15,8 @@ DOCS = REPO / "docs"
 
 REQUIRED_PAGES = [
     "index.md", "architecture.md", "paper-map.md", "platforms.md",
-    "runs.md", "serve.md", "observability.md", "cli.md",
+    "runs.md",
+    "dse-distributed.md", "serve.md", "observability.md", "cli.md",
 ]
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

@@ -1,6 +1,8 @@
-"""Unit tests for repro.dse Pareto-frontier extraction."""
+"""Unit and property tests for repro.dse Pareto-frontier extraction."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.dse import ObjectiveError, dominates, pareto_front, parse_objectives
 
@@ -60,6 +62,84 @@ class TestParetoFront:
     def test_bad_direction(self):
         with pytest.raises(ObjectiveError):
             pareto_front(self.ROWS, {"runtime_s": "down"})
+
+
+_finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+_row_sets = st.lists(
+    st.tuples(_finite, _finite), min_size=1, max_size=40
+).map(
+    lambda pairs: [
+        {"idx": i, "a": a, "b": b} for i, (a, b) in enumerate(pairs)
+    ]
+)
+_objective_sets = st.sampled_from([
+    {"a": "min", "b": "min"},
+    {"a": "max", "b": "min"},
+    {"a": "min", "b": "max"},
+    {"a": "max", "b": "max"},
+    {"a": "min"},
+    {"b": "max"},
+])
+
+
+class TestParetoProperties:
+    """Frontier invariants over arbitrary finite point sets — the same
+    invariants the successive-halving promotion rule leans on."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(rows=_row_sets, objectives=_objective_sets)
+    def test_front_is_an_ordered_subset(self, rows, objectives):
+        front = pareto_front(rows, objectives)
+        assert front, "a non-empty point set has a non-empty frontier"
+        indexes = [row["idx"] for row in front]
+        assert indexes == sorted(indexes)  # input order preserved
+        assert all(row in rows for row in front)
+
+    @settings(max_examples=100, deadline=None)
+    @given(rows=_row_sets, objectives=_objective_sets)
+    def test_front_members_are_mutually_non_dominating(
+        self, rows, objectives
+    ):
+        front = pareto_front(rows, objectives)
+
+        def signed(row):
+            return tuple(
+                -row[name] if direction == "max" else row[name]
+                for name, direction in objectives.items()
+            )
+
+        for first in front:
+            for second in front:
+                assert not dominates(signed(first), signed(second))
+
+    @settings(max_examples=100, deadline=None)
+    @given(rows=_row_sets, objectives=_objective_sets)
+    def test_every_excluded_row_is_dominated_by_a_front_row(
+        self, rows, objectives
+    ):
+        front = pareto_front(rows, objectives)
+        front_ids = {row["idx"] for row in front}
+
+        def signed(row):
+            return tuple(
+                -row[name] if direction == "max" else row[name]
+                for name, direction in objectives.items()
+            )
+
+        for row in rows:
+            if row["idx"] in front_ids:
+                continue
+            assert any(
+                dominates(signed(winner), signed(row)) for winner in front
+            ), f"row {row['idx']} excluded without a dominator"
+
+    @settings(max_examples=50, deadline=None)
+    @given(rows=_row_sets, objectives=_objective_sets)
+    def test_front_is_idempotent(self, rows, objectives):
+        front = pareto_front(rows, objectives)
+        assert pareto_front(front, objectives) == front
 
 
 class TestParseObjectives:

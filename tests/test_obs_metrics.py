@@ -6,18 +6,22 @@ against the text format 0.0.4 spec — no prometheus client dependency.
 
 import re
 import threading
+import urllib.error
 import urllib.request
 
 import pytest
 
 from repro.api import ExperimentSpec
 from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
     Counter,
     MetricsRegistry,
+    MetricsServer,
     prometheus_text,
     render_top,
     snapshot_fleet,
 )
+from repro.obs.fleet import _fmt_age
 from repro.obs.metrics import escape_label_value
 from repro.runs.locking import RunDirLock
 from repro.serve import (
@@ -292,3 +296,92 @@ def test_snapshot_and_top_render(tmp_path):
 def test_counter_metric_standalone_zero_fill():
     counter = Counter("repro_alone_total", "Alone.", threading.Lock())
     assert counter.render()[-1] == "repro_alone_total 0"
+
+
+# -- standalone MetricsServer (worker processes without a job API) ----------
+
+
+def test_metrics_server_serves_registry_exposition():
+    registry = MetricsRegistry()
+    registry.counter("repro_scrapes_total", "Scrapes.").inc()
+    with MetricsServer(registry) as server:
+        url = f"http://127.0.0.1:{server.port}/metrics"
+        with urllib.request.urlopen(url) as response:
+            body = response.read().decode()
+            content_type = response.headers["Content-Type"]
+    assert content_type == PROMETHEUS_CONTENT_TYPE
+    validate_exposition(body)
+    assert "repro_scrapes_total 1" in body
+
+
+def test_metrics_server_reflects_live_counter_updates():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_live_total", "Live.")
+    with MetricsServer(registry) as server:
+        url = f"http://127.0.0.1:{server.port}/metrics"
+        for expected in (0, 1, 2):
+            with urllib.request.urlopen(url) as response:
+                assert f"repro_live_total {expected}" in (
+                    response.read().decode()
+                )
+            counter.inc()
+
+
+def test_metrics_server_404s_everything_else():
+    with MetricsServer(MetricsRegistry()) as server:
+        url = f"http://127.0.0.1:{server.port}/healthz"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(url)
+        assert excinfo.value.code == 404
+
+
+def test_metrics_server_port_requires_running_server():
+    server = MetricsServer(MetricsRegistry())
+    with pytest.raises(RuntimeError, match="not running"):
+        server.port
+    server.start()
+    try:
+        assert server.port > 0
+    finally:
+        server.stop()
+    with pytest.raises(RuntimeError, match="not running"):
+        server.port
+    server.stop()  # stop twice is a no-op
+
+
+# -- fleet rendering edges --------------------------------------------------
+
+
+def test_fmt_age_branches():
+    assert _fmt_age(None) == "-"
+    assert _fmt_age(3.25) == "3.2s"
+    assert _fmt_age(119.9) == "119.9s"
+    assert _fmt_age(150.0) == "2.5m"
+
+
+def test_render_top_formats_progress_and_heartbeat(tmp_path):
+    store = JobStore(tmp_path / "root")
+    record = store.submit(spec_dict())
+    store.transition(
+        record.id, RUNNING, worker_pid=1, generations_done=2
+    )
+    snapshot = snapshot_fleet(store, detail=True)
+    job = snapshot["jobs"][0]
+    job["best_fitness"] = 37.125
+    job["heartbeat_age_s"] = 240.0
+    screen = render_top(snapshot)
+    assert "2/4" in screen
+    assert "37.12" in screen
+    assert "4.0m" in screen
+    assert "running=1" in screen
+
+
+def test_running_job_without_lock_has_no_heartbeat(tmp_path):
+    store = JobStore(tmp_path / "root")
+    record = store.submit(spec_dict())
+    store.transition(record.id, RUNNING, worker_pid=1)
+    snapshot = snapshot_fleet(store)  # run dir never created, no lock
+    assert snapshot["jobs"][0]["heartbeat_age_s"] is None
+    text = prometheus_text(store)
+    validate_exposition(text)
+    assert "repro_heartbeat_age_seconds{" not in text

@@ -1,0 +1,136 @@
+"""ServeClient unit tests: request shaping and every error path.
+
+``tests/test_serve_http.py`` exercises the client against a live server;
+here ``urlopen`` is monkeypatched so the HTTPError / URLError branches —
+unreachable in a healthy integration test — are pinned too.
+"""
+
+import io
+import json
+from urllib.error import HTTPError, URLError
+
+import pytest
+
+from repro.serve import ServeClient
+from repro.serve.client import ServeClientError
+
+
+class FakeResponse(io.BytesIO):
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def capture(monkeypatch, response_body=b"{}"):
+    """Route urlopen into a log; returns the log of (request, timeout)."""
+    calls = []
+
+    def fake_urlopen(request, timeout=None):
+        calls.append((request, timeout))
+        return FakeResponse(response_body)
+
+    monkeypatch.setattr("repro.serve.client.urlopen", fake_urlopen)
+    return calls
+
+
+def raising(monkeypatch, exc):
+    def fake_urlopen(request, timeout=None):
+        raise exc
+
+    monkeypatch.setattr("repro.serve.client.urlopen", fake_urlopen)
+
+
+def http_error(code, body):
+    return HTTPError(
+        "http://x/jobs", code, "boom", hdrs=None, fp=io.BytesIO(body)
+    )
+
+
+class TestRequestShaping:
+    def test_base_url_trailing_slash_is_stripped(self, monkeypatch):
+        calls = capture(monkeypatch)
+        ServeClient("http://127.0.0.1:1234/").healthz()
+        request, timeout = calls[0]
+        assert request.full_url == "http://127.0.0.1:1234/healthz"
+        assert request.get_method() == "GET"
+        assert timeout == ServeClient("http://x").timeout
+
+    def test_submit_posts_json_payload(self, monkeypatch):
+        calls = capture(monkeypatch, b'{"id": "job-000001"}')
+        out = ServeClient("http://x").submit(
+            {"env_id": "CartPole-v0"}, priority=3, checkpoint_every=2
+        )
+        assert out == {"id": "job-000001"}
+        request, _ = calls[0]
+        assert request.get_method() == "POST"
+        assert request.get_header("Content-type") == "application/json"
+        payload = json.loads(request.data.decode())
+        assert payload["spec"] == {"env_id": "CartPole-v0"}
+        assert payload["priority"] == 3
+        assert payload["checkpoint_every"] == 2
+
+    def test_job_id_is_url_quoted(self, monkeypatch):
+        calls = capture(monkeypatch)
+        ServeClient("http://x").job("job 0001?x")
+        request, _ = calls[0]
+        assert request.full_url == "http://x/jobs/job%200001%3Fx"
+
+    def test_metrics_parses_jsonl_and_since(self, monkeypatch):
+        calls = capture(
+            monkeypatch, b'{"generation": 0}\n\n{"generation": 1}\n'
+        )
+        rows = ServeClient("http://x").metrics("job-000001", since=5)
+        assert rows == [{"generation": 0}, {"generation": 1}]
+        request, _ = calls[0]
+        assert request.full_url.endswith("/metrics?since=5")
+
+    def test_events_parses_jsonl(self, monkeypatch):
+        capture(monkeypatch, b'{"event": "queued"}\n')
+        events = ServeClient("http://x").events("job-000001")
+        assert events == [{"event": "queued"}]
+
+    def test_jobs_unwraps_the_envelope(self, monkeypatch):
+        capture(monkeypatch, b'{"jobs": [{"id": "job-000001"}]}')
+        assert ServeClient("http://x").jobs() == [{"id": "job-000001"}]
+
+
+class TestErrorPaths:
+    def test_http_error_with_json_detail(self, monkeypatch):
+        raising(
+            monkeypatch, http_error(404, b'{"error": "no such job"}')
+        )
+        client = ServeClient("http://x")
+        with pytest.raises(ServeClientError, match=r"404.*no such job"):
+            client.job("job-999999")
+        try:
+            client.job("job-999999")
+        except ServeClientError as exc:
+            assert exc.status == 404
+
+    def test_http_error_with_non_json_detail(self, monkeypatch):
+        raising(monkeypatch, http_error(500, b"<html>stack trace</html>"))
+        with pytest.raises(ServeClientError, match=r"500.*stack trace"):
+            ServeClient("http://x").healthz()
+
+    def test_http_error_with_json_non_object_detail(self, monkeypatch):
+        # valid JSON without an "error" key path (.get raises AttributeError)
+        raising(monkeypatch, http_error(400, b'["not", "an", "object"]'))
+        with pytest.raises(ServeClientError, match="400"):
+            ServeClient("http://x").healthz()
+
+    def test_url_error_names_the_endpoint(self, monkeypatch):
+        raising(monkeypatch, URLError("connection refused"))
+        with pytest.raises(
+            ServeClientError, match=r"cannot reach http://x"
+        ) as excinfo:
+            ServeClient("http://x").jobs()
+        assert excinfo.value.status is None
+
+    def test_cancel_propagates_conflict(self, monkeypatch):
+        raising(
+            monkeypatch, http_error(409, b'{"error": "job already done"}')
+        )
+        with pytest.raises(ServeClientError, match="already done"):
+            ServeClient("http://x").cancel("job-000001")
