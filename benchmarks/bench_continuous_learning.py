@@ -12,7 +12,10 @@ improving.  This bench exercises that story end to end through
    from the final checkpoint with zero re-simulation of recorded
    generations;
 3. the fitness table is rebuilt from artifacts alone (what
-   ``repro report`` prints).
+   ``repro report`` prints);
+4. the task-switch benchmark: a curriculum scenario changes the physics
+   mid-run and the recorded metrics quantify forgetting at each switch
+   and how many generations the population takes to recover.
 """
 
 import time
@@ -92,3 +95,55 @@ def test_extending_a_finished_run(runs_root, emit):
         f"{len(resimulated)} generations (best fitness "
         f"{extended.best_fitness:.1f})"
     )
+
+
+def test_task_switch_forgetting_and_recovery(runs_root, emit):
+    """Task-switch continuous learning: the environment changes under the
+    population mid-run (pole length curriculum) and the run artifacts
+    must quantify the damage and the comeback."""
+    from repro.scenarios import ScenarioSpec, export_continual_csv
+
+    curriculum = ScenarioSpec(
+        env_id="CartPole-v0",
+        curriculum={
+            "mode": "fixed",
+            "stages": [
+                {"params": {"length": 0.5}},
+                {"at_generation": 3,
+                 "params": {"length": 0.1, "gravity": 25.0}},
+            ],
+        },
+    )
+    run_dir = runs_root / "task-switch"
+    record_run(
+        spec().replace(scenario=curriculum, max_generations=GENERATIONS),
+        run_dir,
+        checkpoint_every=2,
+    )
+    rows = RunDir(run_dir).read_metrics()
+    stages = [row["scenario_stage"] for row in rows]
+    assert stages == [0, 0, 0, 1, 1, 1]
+
+    switches = export_continual_csv(rows, run_dir / "continual.csv")
+    assert len(switches) == 1
+    assert switches[0]["generation"] == 3
+    assert switches[0]["max_forgetting"] >= 0.0
+
+    headers, table = (
+        ["gen", "stage", "best", "forgetting"],
+        [
+            [row["generation"], row["scenario_stage"],
+             f"{row['best_fitness']:.1f}",
+             f"{row['scenario_forgetting']:.1f}"
+             if row.get("scenario_forgetting") is not None else "-"]
+            for row in rows
+        ],
+    )
+    recovery = switches[0]["recovery_generations"]
+    emit(render_table(
+        headers, table,
+        title=f"Task switch at generation 3: max forgetting "
+              f"{switches[0]['max_forgetting']:.1f}, recovery in "
+              f"{recovery if recovery is not None else '>budget'} "
+              f"generations",
+    ))

@@ -36,6 +36,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
+from .. import obs
 from ..core.config import GeneSysConfig
 from ..core.runner import config_for_env
 from ..core.soc import GenerationReport, GeneSysSoC
@@ -104,6 +105,7 @@ class Backend(Protocol):
         on_state: Optional[StateObserver] = None,
         resume_state: Optional[Dict] = None,
         should_stop: Optional[ShouldStop] = None,
+        resume_metrics: Optional[Sequence[Dict]] = None,
     ) -> RunResult:
         ...  # pragma: no cover - protocol
 
@@ -169,6 +171,7 @@ def _run_software_loop(
     on_state: Optional[StateObserver] = None,
     resume_state: Optional[Dict] = None,
     should_stop: Optional[ShouldStop] = None,
+    resume_metrics: Optional[Sequence[Dict]] = None,
 ) -> _SoftwareLoopResult:
     """Run software NEAT for a spec, emitting metrics per generation.
 
@@ -190,6 +193,12 @@ def _run_software_loop(
     so the boundary is already checkpointable) with the completed
     generation count; returning ``True`` ends the loop cooperatively —
     the preemption mechanism of the :mod:`repro.serve` scheduler.
+
+    On a scenario run, ``resume_metrics`` (the metrics rows already on
+    disk, in generation order) replays the curriculum fold so the
+    resumed run holds exactly the stage/streak/forgetting state the
+    uninterrupted run would — the curriculum half of the byte-identity
+    guarantee.
     """
     config = config_for_env(spec.env_id, spec.pop_size, spec.fitness_threshold)
     if resume_state is not None:
@@ -198,16 +207,30 @@ def _run_software_loop(
     else:
         population = Population(config, seed=spec.seed)
         start_generation = 0
-    evaluator = build_evaluator(
-        spec.env_id,
-        episodes=spec.episodes,
-        max_steps=spec.max_steps,
-        seed=spec.seed,
-        fitness_transform=fitness_transform,
-        workers=spec.workers,
-        vectorizer=spec.vectorizer,
-        start_generation=start_generation,
-    )
+    controller = None
+    if spec.scenario is not None:
+        from ..scenarios import CurriculumController
+
+        controller = CurriculumController(spec.scenario)
+        if resume_metrics:
+            controller.restore(resume_metrics)
+
+    def make_evaluator(generation: int):
+        return build_evaluator(
+            spec.env_id,
+            episodes=spec.episodes,
+            max_steps=spec.max_steps,
+            seed=spec.seed,
+            fitness_transform=fitness_transform,
+            workers=spec.workers,
+            vectorizer=spec.vectorizer,
+            start_generation=generation,
+            scenario=(
+                controller.active_scenario() if controller is not None else None
+            ),
+        )
+
+    evaluator = make_evaluator(start_generation)
     collect = collect_workloads or decorate_metrics is not None
     threshold = config.fitness_threshold
     out = _SoftwareLoopResult(population=population)
@@ -246,6 +269,14 @@ def _run_software_loop(
                 env_steps=env_steps,
                 inference_macs=macs,
             )
+            switched_stage = None
+            if controller is not None:
+                # Annotates the row with the stage it was evaluated under
+                # (plus forgetting/recovery) and folds the advancement
+                # rule; an advance only affects the *next* generation.
+                switched_stage = controller.step(
+                    metrics.generation, metrics.best_fitness, metrics
+                )
             if collect:
                 # The batched evaluator levelises every genome anyway, so
                 # reuse its depths (exactly the feed_forward_layers counts
@@ -277,6 +308,21 @@ def _run_software_loop(
             if should_stop is not None and should_stop(population.generation):
                 out.stopped = True
                 break
+            if switched_stage is not None:
+                # Rebuild the evaluator on the new stage's environment.
+                # The seed stream is a pure function of (seed, generation,
+                # genome, episode), so restarting at the current boundary
+                # keeps serial/pooled/vectorized bit-identity intact.
+                with obs.span(
+                    "scenario.switch",
+                    stage=switched_stage,
+                    generation=population.generation,
+                ):
+                    obs.incr("scenario.stage_advance")
+                    close = getattr(evaluator, "close", None)
+                    if close is not None:
+                        close()
+                    evaluator = make_evaluator(population.generation)
     finally:
         close = getattr(evaluator, "close", None)
         if close is not None:
@@ -311,11 +357,12 @@ class SoftwareBackend:
         on_state: Optional[StateObserver] = None,
         resume_state: Optional[Dict] = None,
         should_stop: Optional[ShouldStop] = None,
+        resume_metrics: Optional[Sequence[Dict]] = None,
     ) -> RunResult:
         loop = _run_software_loop(
             spec, self.fitness_transform, on_generation, on_evaluation,
             on_state=on_state, resume_state=resume_state,
-            should_stop=should_stop,
+            should_stop=should_stop, resume_metrics=resume_metrics,
         )
         population = loop.population
         return RunResult(
@@ -389,6 +436,7 @@ class AnalyticalBackend:
         on_state: Optional[StateObserver] = None,
         resume_state: Optional[Dict] = None,
         should_stop: Optional[ShouldStop] = None,
+        resume_metrics: Optional[Sequence[Dict]] = None,
     ) -> RunResult:
         def decorate(metrics: GenerationMetrics, workload: GenerationWorkload) -> None:
             inference = self.platform.inference_cost(workload)
@@ -400,7 +448,7 @@ class AnalyticalBackend:
             spec, self.fitness_transform, on_generation, on_evaluation,
             decorate_metrics=decorate,
             on_state=on_state, resume_state=resume_state,
-            should_stop=should_stop,
+            should_stop=should_stop, resume_metrics=resume_metrics,
         )
         population = loop.population
         return RunResult(
@@ -578,6 +626,7 @@ class SoCBackend:
         on_state: Optional[StateObserver] = None,
         resume_state: Optional[Dict] = None,
         should_stop: Optional[ShouldStop] = None,
+        resume_metrics: Optional[Sequence[Dict]] = None,
     ) -> RunResult:
         if resume_state is not None:
             raise ResumeUnsupportedError(

@@ -16,7 +16,7 @@ see :mod:`repro.runs`.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from .backends import (
     Backend,
@@ -77,6 +77,7 @@ class Experiment:
         on_state: Optional[StateObserver] = None,
         resume_state: Optional[Dict] = None,
         should_stop: Optional[ShouldStop] = None,
+        resume_metrics: Optional[List[Dict]] = None,
     ) -> RunResult:
         """Run the closed loop to threshold or generation budget.
 
@@ -86,9 +87,11 @@ class Experiment:
         :meth:`repro.neat.Population.to_state` checkpoint payload, and
         ``should_stop`` is polled after each generation to end the run
         cooperatively at that boundary (``result.stopped_early`` marks
-        such runs).  All three are forwarded only when set, so backends
-        registered before these capabilities existed keep working
-        unchanged.
+        such runs).  ``resume_metrics`` (the already-recorded metrics
+        rows, generation order) lets a scenario run replay its
+        curriculum fold on resume.  All are forwarded only when set, so
+        backends registered before these capabilities existed keep
+        working unchanged.
         """
         extra: Dict[str, Any] = {}
         if on_state is not None:
@@ -97,6 +100,8 @@ class Experiment:
             extra["resume_state"] = resume_state
         if should_stop is not None:
             extra["should_stop"] = should_stop
+        if resume_metrics is not None:
+            extra["resume_metrics"] = resume_metrics
         return self.backend.run(
             self.spec,
             on_generation=on_generation,

@@ -73,16 +73,25 @@ _WORKER_ENV_ID = None
 _WORKER_ENV_BATCH = None
 _WORKER_MAX_STEPS = None
 _WORKER_GENOME_CONFIG = None
+_WORKER_SCENARIO = None
 
 
-def _init_worker(env_id: str, max_steps: Optional[int], genome_config) -> None:
+def _init_worker(
+    env_id: str, max_steps: Optional[int], genome_config, scenario=None
+) -> None:
     global _WORKER_ENV, _WORKER_ENV_ID, _WORKER_ENV_BATCH
-    global _WORKER_MAX_STEPS, _WORKER_GENOME_CONFIG
-    _WORKER_ENV = make(env_id)
+    global _WORKER_MAX_STEPS, _WORKER_GENOME_CONFIG, _WORKER_SCENARIO
+    if scenario is not None:
+        from ..scenarios import build_env
+
+        _WORKER_ENV = build_env(scenario)
+    else:
+        _WORKER_ENV = make(env_id)
     _WORKER_ENV_ID = env_id
     _WORKER_ENV_BATCH = None
     _WORKER_MAX_STEPS = max_steps
     _WORKER_GENOME_CONFIG = genome_config
+    _WORKER_SCENARIO = scenario
 
 
 def _evaluate_genome(task) -> Tuple[int, List[float], int, int]:
@@ -110,9 +119,14 @@ def _evaluate_chunk_vectorized(chunk) -> List[Tuple[int, List[float], int, int]]
     """Batch-evaluate a contiguous population slice inside one worker."""
     global _WORKER_ENV_BATCH
     if _WORKER_ENV_BATCH is None:
-        from ..envs.batched import make_batched
+        if _WORKER_SCENARIO is not None:
+            from ..scenarios import build_batched_env
 
-        _WORKER_ENV_BATCH = make_batched(_WORKER_ENV_ID)
+            _WORKER_ENV_BATCH = build_batched_env(_WORKER_SCENARIO)
+        else:
+            from ..envs.batched import make_batched
+
+            _WORKER_ENV_BATCH = make_batched(_WORKER_ENV_ID)
     # Forked workers inherit the parent's installed tracer (the path,
     # not a shared handle), so chunk spans land in the same telemetry
     # file tagged with the worker's pid.
@@ -194,6 +208,7 @@ class ParallelFitnessEvaluator:
         vectorizer: str = "scalar",
         start_generation: int = 0,
         task_transport: Optional[str] = None,
+        scenario=None,
     ) -> None:
         if workers < 2:
             raise ValueError("ParallelFitnessEvaluator needs workers >= 2; "
@@ -210,6 +225,8 @@ class ParallelFitnessEvaluator:
         self.fitness_transform = fitness_transform
         self.workers = workers
         self.vectorizer = vectorizer
+        #: frozen dataclass — pickles into the pool initializer cleanly
+        self.scenario = scenario
         self.totals = EvaluationTotals()
         # Episode seeds derive from the generation index, so a resumed
         # run must restart the counter where the checkpoint left off.
@@ -228,7 +245,9 @@ class ParallelFitnessEvaluator:
             self._pool = multiprocessing.get_context().Pool(
                 processes=self.workers,
                 initializer=_init_worker,
-                initargs=(self.env_id, self.max_steps, genome_config),
+                initargs=(
+                    self.env_id, self.max_steps, genome_config, self.scenario
+                ),
             )
             self._pool_genome_config = genome_config
         return self._pool
@@ -368,6 +387,7 @@ def build_evaluator(
     vectorizer: str = "scalar",
     start_generation: int = 0,
     task_transport: Optional[str] = None,
+    scenario=None,
 ) -> Union[FitnessEvaluator, ParallelFitnessEvaluator, BatchedEvaluator]:
     """The evaluator for a (workers, vectorizer) combination.
 
@@ -398,6 +418,7 @@ def build_evaluator(
             seed=seed,
             fitness_transform=fitness_transform,
             start_generation=start_generation,
+            scenario=scenario,
         )
     return ParallelFitnessEvaluator(
         env_id,
@@ -409,4 +430,5 @@ def build_evaluator(
         vectorizer=vectorizer,
         start_generation=start_generation,
         task_transport=task_transport,
+        scenario=scenario,
     )

@@ -40,9 +40,16 @@ class GenerationMetrics:
     energy_j: Optional[float] = None
     cycles: Optional[int] = None
     runtime_s: Optional[float] = None
+    #: Curriculum/scenario columns, set only on scenario runs: the stage
+    #: this generation was evaluated under, how far the champion sits
+    #: below its pre-switch best, and (once, on the generation it first
+    #: happens) how many generations recovery took.
+    scenario_stage: Optional[int] = None
+    scenario_forgetting: Optional[float] = None
+    scenario_recovery: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "generation": self.generation,
             "best_fitness": self.best_fitness,
             "mean_fitness": self.mean_fitness,
@@ -55,6 +62,15 @@ class GenerationMetrics:
             "cycles": self.cycles,
             "runtime_s": self.runtime_s,
         }
+        # Emitted only on scenario runs, so non-scenario metrics.jsonl
+        # rows stay byte-identical to every earlier release.
+        if self.scenario_stage is not None:
+            data["scenario_stage"] = self.scenario_stage
+            if self.scenario_forgetting is not None:
+                data["scenario_forgetting"] = self.scenario_forgetting
+            if self.scenario_recovery is not None:
+                data["scenario_recovery"] = self.scenario_recovery
+        return data
 
 
 @dataclass

@@ -69,6 +69,13 @@ class ExperimentSpec:
     #: cycle-level design point.  Omitted from ``to_dict`` when unset,
     #: so pre-platform specs and their DSE cache keys are unchanged.
     platform: Optional[PlatformSpec] = None
+    #: Optional embedded :class:`repro.scenarios.ScenarioSpec` (or its
+    #: dict form) describing the environment variant: tunable parameter
+    #: overrides, adversarial perturbation wrappers, an optional
+    #: curriculum.  Must name the same environment as ``env_id``.
+    #: Omitted from ``to_dict`` when unset, so pre-scenario specs and
+    #: their DSE cache keys are unchanged.
+    scenario: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if not self.env_id or not isinstance(self.env_id, str):
@@ -113,6 +120,35 @@ class ExperimentSpec:
                     f"the soc backend needs a 'soc'-kind platform spec, "
                     f"got kind {platform.kind!r}"
                 )
+        if self.scenario is not None:
+            from ..scenarios import ScenarioSpec, ScenarioSpecError
+
+            scenario = self.scenario
+            try:
+                if isinstance(scenario, dict):
+                    scenario = ScenarioSpec.from_dict(scenario)
+                if not isinstance(scenario, ScenarioSpec):
+                    raise ScenarioSpecError(
+                        f"scenario must be a ScenarioSpec or mapping, "
+                        f"got {scenario!r}"
+                    )
+            except ScenarioSpecError as exc:
+                raise SpecError(f"invalid scenario spec: {exc}") from exc
+            object.__setattr__(self, "scenario", scenario)
+
+            def _normalise(env_id: str) -> str:
+                return "".join(ch for ch in env_id.lower() if ch.isalnum())
+
+            if _normalise(scenario.env_id) != _normalise(self.env_id):
+                raise SpecError(
+                    f"scenario env {scenario.env_id!r} does not match "
+                    f"spec env {self.env_id!r}"
+                )
+            if self.backend.partition(":")[0] == "soc":
+                raise SpecError(
+                    "the soc backend does not support scenarios yet; "
+                    "use the software or analytical backends"
+                )
 
     # -- derivation -------------------------------------------------------
 
@@ -131,6 +167,11 @@ class ExperimentSpec:
             del data["platform"]
         else:
             data["platform"] = self.platform.to_dict()
+        # Same omitted-when-unset contract for the scenario block.
+        if self.scenario is None:
+            del data["scenario"]
+        else:
+            data["scenario"] = self.scenario.to_dict()
         return data
 
     @classmethod

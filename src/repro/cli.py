@@ -9,6 +9,9 @@ Commands
 ``characterise [ENV]``        Fig. 4/5-style workload characterisation
 ``platforms``                 the platform registry (``--json`` for the
                               machine-readable spec dump)
+``scenarios``                 the scenario registry (environment variants,
+                              perturbations, curricula; ``--json`` dumps
+                              the specs)
 ``platforms ENV``             Fig. 9-style platform runtime/energy matrix
 ``design-space``              Fig. 8 power/area sweep of the SoC
 ``dse --sweep FILE``          declarative design-space sweep (repro.dse):
@@ -91,6 +94,21 @@ def _resolve_platform_flag(value: str):
     return pspec, ("soc" if pspec.kind == "soc" else "analytical")
 
 
+def _resolve_scenario_flag(value: str):
+    """``--scenario`` FILE-or-name -> :class:`repro.scenarios.ScenarioSpec`.
+
+    A JSON file loads as a ScenarioSpec; anything else resolves through
+    the scenario registry (see ``repro scenarios``).
+    """
+    from pathlib import Path
+
+    from .scenarios import ScenarioSpec, get_scenario
+
+    if Path(value).is_file():
+        return ScenarioSpec.load(value)
+    return get_scenario(value)
+
+
 def _spec_from_args(args: argparse.Namespace):
     """Build the experiment spec from CLI flags and/or a spec file."""
     from .api import ExperimentSpec
@@ -116,12 +134,16 @@ def _spec_from_args(args: argparse.Namespace):
                 f"--backend {platform_backend}; it conflicts with "
                 f"--backend {backend}"
             )
+    scenario = None
+    if getattr(args, "scenario", None) is not None:
+        scenario = _resolve_scenario_flag(args.scenario)
     overrides = {
         key: value
         for key, value in {
             "env_id": args.env,
             "backend": backend,
             "platform": platform,
+            "scenario": scenario,
             "max_generations": args.generations,
             "pop_size": args.population,
             "episodes": args.episodes,
@@ -169,8 +191,9 @@ def _cmd_backends(_args: argparse.Namespace) -> int:
 #: Spec-building ``run`` flags that conflict with ``--resume`` (the spec
 #: comes from the run directory; only the generation budget may change).
 _RESUME_CONFLICTS = (
-    "env", "spec", "backend", "platform", "population", "episodes", "seed",
-    "max_steps", "workers", "vectorizer", "fitness_threshold",
+    "env", "spec", "backend", "platform", "scenario", "population",
+    "episodes", "seed", "max_steps", "workers", "vectorizer",
+    "fitness_threshold",
 )
 
 
@@ -424,6 +447,45 @@ def _cmd_platforms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .scenarios import registered_scenarios
+
+    if args.json:
+        import json
+
+        payload = {
+            name: scenario.to_dict()
+            for name, scenario in registered_scenarios().items()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for name, scenario in registered_scenarios().items():
+        params = ", ".join(
+            f"{k}={v:.4g}" for k, v in sorted(scenario.params.items())
+        ) or "-"
+        perturbations = ", ".join(
+            p.kind for p in scenario.perturbations
+        ) or "-"
+        stages = (
+            f"{scenario.stage_count()} ({scenario.curriculum.mode})"
+            if scenario.curriculum is not None
+            else "-"
+        )
+        rows.append([name, scenario.env_id, params, perturbations, stages])
+    print(render_table(
+        ["scenario", "environment", "params", "perturbations", "stages"],
+        rows,
+        title="Scenario registry (repro.scenarios)",
+    ))
+    print(
+        "\nRun one with 'repro run --scenario NAME' (or a ScenarioSpec "
+        "JSON file); add your own with "
+        "repro.scenarios.register_scenario (see docs/scenarios.md)."
+    )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Rebuild metric tables from run directories — artifacts only, no
     re-simulation."""
@@ -432,6 +494,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         fitness_table,
         hardware_table,
         load_run,
+        scenario_table,
         summary_table,
     )
 
@@ -452,6 +515,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(render_table(
                 headers, rows, title=f"{report.name}: workload and cost",
             ))
+            headers, rows = scenario_table(report)
+            if rows:
+                print()
+                print(render_table(
+                    headers, rows,
+                    title=f"{report.name}: curriculum (stage / "
+                          f"forgetting / recovery)",
+                ))
     if args.export:
         csv_path, json_path = export_reports(reports, args.export)
         print(f"\nexported {csv_path} and {json_path}")
@@ -1074,6 +1145,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "'platforms') or a PlatformSpec JSON file; "
                           "picks --backend analytical (or soc for a "
                           "soc-kind spec) unless one is given")
+    run.add_argument("--scenario", metavar="NAME|FILE",
+                     help="run an environment scenario: a registered "
+                          "name (see 'scenarios') or a ScenarioSpec "
+                          "JSON file — tunable physics overrides, "
+                          "seeded perturbation wrappers, optional "
+                          "curriculum (docs/scenarios.md)")
     run.add_argument("--hardware", action="store_true",
                      help="shorthand for --backend soc (EvE/ADAM "
                           "hardware-in-the-loop path)")
@@ -1135,6 +1212,20 @@ def build_parser() -> argparse.ArgumentParser:
                            "PlatformSpec dict; null for factory-backed "
                            "custom entries)")
     plat.set_defaults(func=_cmd_platforms)
+
+    scen = sub.add_parser(
+        "scenarios",
+        help="list the scenario registry",
+        description="List the registered environment scenarios "
+                    "(repro.scenarios): tunable-parameter variants, "
+                    "seeded adversarial perturbations and curriculum "
+                    "schedules, runnable with 'repro run --scenario "
+                    "NAME' and sweepable with the scenario.* dse axes.",
+    )
+    scen.add_argument("--json", action="store_true",
+                      help="print the registry as JSON (scenario name -> "
+                           "ScenarioSpec dict)")
+    scen.set_defaults(func=_cmd_scenarios)
 
     sub.add_parser("design-space", help="PE sweep power/area table").set_defaults(
         func=_cmd_design_space
@@ -1420,6 +1511,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     from .neat.serialize import DeserializationError
     from .platforms import PlatformSpecError, UnknownPlatformError
     from .runs import RunError
+    from .scenarios import ScenarioSpecError, UnknownScenarioError
     from .serve import JobStoreError, ServeClientError
 
     try:
@@ -1428,6 +1520,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         SpecError, UnknownBackendError, UnknownEnvironmentError,
         ObjectiveError, RunError, DeserializationError,
         PlatformSpecError, UnknownPlatformError,
+        ScenarioSpecError, UnknownScenarioError,
         JobStoreError, ServeClientError,
     ) as exc:
         # KeyError subclasses repr-quote their message; unwrap it.

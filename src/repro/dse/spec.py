@@ -75,14 +75,28 @@ PLATFORM_AXES = tuple(
 
 #: Experiment-spec fields an axis may sweep (``backend_options`` is
 #: reserved for the hardware-axis folding, ``platform`` for the
-#: ``platform.*`` axes).
+#: ``platform.*`` axes, ``scenario`` for the ``scenario.*`` axes).
 SPEC_AXES = tuple(
     sorted(
         f.name
         for f in dataclasses.fields(ExperimentSpec)
-        if f.name not in ("backend_options", "platform")
+        if f.name not in ("backend_options", "platform", "scenario")
     )
 )
+
+#: The fixed scenario axis; ``scenario.params.<key>`` axes are validated
+#: dynamically (the key set is environment-specific).
+SCENARIO_NAME_AXIS = "scenario.name"
+SCENARIO_PARAM_PREFIX = "scenario.params."
+
+
+def _is_scenario_axis(name: str) -> bool:
+    if name == SCENARIO_NAME_AXIS:
+        return True
+    return (
+        name.startswith(SCENARIO_PARAM_PREFIX)
+        and len(name) > len(SCENARIO_PARAM_PREFIX)
+    )
 
 
 def _is_json_scalar(value: Any) -> bool:
@@ -120,7 +134,10 @@ class SweepSpec:
     field (:data:`PLATFORM_AXES` — ``platform.eve_pes``,
     ``platform.noc``, ``platform.scheduler``, ``platform.adam_shape``,
     …), which parameterises the ``soc``/``analytical`` substrates and
-    leaves other backends unchanged, or a deprecated ``hw.*`` alias
+    leaves other backends unchanged, a scenario axis (``scenario.name``
+    sweeps registered environment scenarios — ``None`` meaning the
+    unmodified base env — and ``scenario.params.<key>`` sweeps one
+    tunable environment parameter), or a deprecated ``hw.*`` alias
     (:data:`HW_AXES`).  ``strategy`` is ``grid`` (full
     cartesian product, the default) or ``random`` (``samples`` draws
     from the grid using ``sample_seed`` — duplicates collapse, so the
@@ -157,12 +174,18 @@ class SweepSpec:
                     DeprecationWarning,
                     stacklevel=3,
                 )
-            elif name not in SPEC_AXES and name not in PLATFORM_AXES:
+            elif (
+                name not in SPEC_AXES
+                and name not in PLATFORM_AXES
+                and not _is_scenario_axis(name)
+            ):
                 raise SweepSpecError(
                     f"unknown sweep axis {name!r}; spec axes: "
                     f"{list(SPEC_AXES)}; platform axes: "
-                    f"{list(PLATFORM_AXES)} (deprecated aliases: "
-                    f"{sorted(HW_AXES)})"
+                    f"{list(PLATFORM_AXES)}; scenario axes: "
+                    f"['{SCENARIO_NAME_AXIS}', "
+                    f"'{SCENARIO_PARAM_PREFIX}<key>'] "
+                    f"(deprecated aliases: {sorted(HW_AXES)})"
                 )
             if not isinstance(values, (list, tuple)) or not values:
                 raise SweepSpecError(
@@ -229,7 +252,65 @@ class SweepSpec:
         }
         if platform_fields:
             spec = self._apply_platform_fields(spec, platform_fields, values)
+        scenario_fields = {
+            k: v for k, v in values.items() if _is_scenario_axis(k)
+        }
+        if scenario_fields:
+            spec = self._apply_scenario_fields(spec, scenario_fields, values)
         return SweepPoint(index=index, axes=dict(values), spec=spec)
+
+    @staticmethod
+    def _apply_scenario_fields(
+        spec: ExperimentSpec,
+        fields: Mapping[str, Any],
+        values: Mapping[str, Any],
+    ) -> ExperimentSpec:
+        """Fold ``scenario.*`` axis values into the point's spec.
+
+        ``scenario.name`` swaps in a registered scenario wholesale
+        (``None`` drops the scenario block, giving the unmodified base
+        environment); it applies before any ``scenario.params.<key>``
+        axis, which then overrides one tunable parameter — creating a
+        params-only scenario for the spec's own env when no scenario is
+        embedded.  Params are merged into the scenario's base ``params``
+        so curriculum stages still layer on top.
+        """
+        from ..scenarios import (
+            ScenarioSpec,
+            ScenarioSpecError,
+            UnknownScenarioError,
+            get_scenario,
+        )
+
+        try:
+            scenario = spec.scenario
+            name = fields.get(SCENARIO_NAME_AXIS, ...)
+            if name is not ...:
+                scenario = get_scenario(name) if name is not None else None
+            for axis, value in sorted(fields.items()):
+                if axis == SCENARIO_NAME_AXIS:
+                    continue
+                key = axis[len(SCENARIO_PARAM_PREFIX):]
+                if scenario is None:
+                    scenario = ScenarioSpec(
+                        env_id=spec.env_id, params={key: value}
+                    )
+                else:
+                    scenario = scenario.replace(
+                        params={**scenario.params, key: value}
+                    )
+            if scenario is spec.scenario:
+                return spec
+            return spec.replace(scenario=scenario)
+        except (
+            ScenarioSpecError,
+            UnknownScenarioError,
+            SpecError,
+        ) as exc:
+            message = exc.args[0] if exc.args else exc
+            raise SweepSpecError(
+                f"point {dict(values)}: {message}"
+            ) from exc
 
     @staticmethod
     def _apply_platform_fields(

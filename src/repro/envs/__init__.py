@@ -12,6 +12,7 @@ from .atari_ram import (
 from .base import Environment
 from .batched import (
     BatchedEnv,
+    BatchedTemplateError,
     LockstepEnvs,
     VectorizedCartPole,
     VectorizedMountainCar,
@@ -41,6 +42,7 @@ from .registry import (
     available,
     make,
     register,
+    unregister,
 )
 from .seeding import derive_seed, make_rng
 from .spaces import Box, Discrete, MultiBinary, Space
@@ -54,6 +56,7 @@ __all__ = [
     "AsterixRamEnv",
     "AtariRAMEnv",
     "BatchedEnv",
+    "BatchedTemplateError",
     "BipedalWalkerEnv",
     "Box",
     "CANONICAL_IDS",
@@ -86,4 +89,5 @@ __all__ = [
     "register_batched",
     "run_episode",
     "run_episodes_batched",
+    "unregister",
 ]

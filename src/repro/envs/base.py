@@ -10,7 +10,7 @@ pairs with in steps 2-4 of the walkthrough.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -28,13 +28,46 @@ class Environment:
     action_space: Space
     #: hard episode cap, mirroring gym's TimeLimit wrapper
     max_episode_steps: int = 1000
+    #: name -> default for every constructor-tunable physics/reward
+    #: parameter; empty for environments with fixed dynamics.  Tunable
+    #: environments override this plus :meth:`_apply_params`, which
+    #: mirrors ``self.params`` onto the instance attributes the step
+    #: function reads (shadowing the class constants).
+    TUNABLE_PARAMS: Mapping[str, float] = {}
 
-    def __init__(self, seed: Optional[int] = None) -> None:
+    def __init__(self, seed: Optional[int] = None, **params: float) -> None:
         self.rng: random.Random = make_rng(seed)
         self._elapsed_steps = 0
         self._done = True
+        self.params: Dict[str, float] = dict(self.TUNABLE_PARAMS)
+        if params:
+            self.configure(**params)
+        elif self.params:
+            self._apply_params()
 
     # -- public API --------------------------------------------------------
+
+    @classmethod
+    def tunable_params(cls) -> Dict[str, float]:
+        """The tunable parameter names and their defaults."""
+        return dict(cls.TUNABLE_PARAMS)
+
+    def configure(self, **params: float) -> None:
+        """Override tunable physics/reward parameters on this instance."""
+        unknown = sorted(set(params) - set(self.TUNABLE_PARAMS))
+        if unknown:
+            raise ValueError(
+                f"{self.name} has no tunable parameter(s) {unknown}; "
+                f"tunable: {sorted(self.TUNABLE_PARAMS)}"
+            )
+        for key, value in params.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"{self.name} parameter {key!r} must be a number, "
+                    f"got {value!r}"
+                )
+            self.params[key] = float(value)
+        self._apply_params()
 
     def seed(self, seed: Optional[int]) -> None:
         self.rng = make_rng(seed)
@@ -59,6 +92,9 @@ class Environment:
         return np.asarray(obs, dtype=np.float64), float(reward), bool(done), info
 
     # -- subclass hooks ------------------------------------------------------
+
+    def _apply_params(self) -> None:
+        """Mirror ``self.params`` onto the attributes ``_step`` reads."""
 
     def _reset(self) -> np.ndarray:
         raise NotImplementedError

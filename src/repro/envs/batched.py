@@ -43,6 +43,17 @@ from .spaces import Box, Discrete, MultiBinary
 BatchedStep = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
 
+class BatchedTemplateError(TypeError):
+    """A scalar template a vectorized port cannot replay bit-exactly.
+
+    Raised when a wrapped or subclassed environment is offered as the
+    template for a numpy physics port: the port replays the *class*
+    dynamics, so anything that intercepts ``step``/``reset`` (perturbation
+    wrappers, custom subclasses) must run on the lockstep fallback
+    instead.  :func:`make_batched` catches this and falls back.
+    """
+
+
 class BatchedEnv:
     """Interface: n episode lanes advanced in lockstep.
 
@@ -82,9 +93,14 @@ class LockstepEnvs(BatchedEnv):
     across generations (``start`` re-seeds them) to avoid rebuild cost.
     """
 
-    def __init__(self, env_id: str) -> None:
+    def __init__(
+        self,
+        env_id: str,
+        factory: Callable[[], Environment] = None,
+    ) -> None:
         self.env_id = env_id
-        template = make(env_id)
+        self._make = factory if factory is not None else (lambda: make(env_id))
+        template = self._make()
         self.observation_space = template.observation_space
         self.action_space = template.action_space
         self.max_episode_steps = template.max_episode_steps
@@ -93,7 +109,7 @@ class LockstepEnvs(BatchedEnv):
 
     def start(self, seeds: Sequence[int]) -> np.ndarray:
         while len(self._envs) < len(seeds):
-            self._envs.append(make(self.env_id))
+            self._envs.append(self._make())
         self._live = self._envs[: len(seeds)]
         obs = np.empty((len(seeds), self.observation_space.flat_dim))
         for i, (env, seed) in enumerate(zip(self._live, seeds)):
@@ -133,11 +149,24 @@ class _StateMatrixEnv(BatchedEnv):
     #: scalar class mirrored (spaces / step limit / state sampler source)
     scalar_cls: Type[Environment] = Environment
 
-    def __init__(self, env_id: str) -> None:
+    def __init__(self, env_id: str, template: Environment = None) -> None:
         self.env_id = env_id
-        self.observation_space = self.scalar_cls.observation_space
-        self.action_space = self.scalar_cls.action_space
-        self.max_episode_steps = self.scalar_cls.max_episode_steps
+        if template is None:
+            template = self.scalar_cls()
+        elif type(template) is not self.scalar_cls:
+            # A wrapper or subclass intercepts step()/reset(); the numpy
+            # physics below would silently drop that behaviour.  Refuse,
+            # so make_batched() routes to the lockstep fallback.
+            raise BatchedTemplateError(
+                f"{type(self).__name__} replays {self.scalar_cls.__name__} "
+                f"dynamics exactly; cannot batch {type(template).__name__}"
+            )
+        #: physics constants are read off the template *instance*, so a
+        #: parameterised (but unwrapped) scalar env vectorizes correctly.
+        self._template = template
+        self.observation_space = template.observation_space
+        self.action_space = template.action_space
+        self.max_episode_steps = template.max_episode_steps
         self.state = np.empty((0, self.observation_space.flat_dim))
         self._elapsed = 0
 
@@ -187,7 +216,7 @@ class VectorizedCartPole(_StateMatrixEnv):
         return [rng.uniform(-0.05, 0.05) for _ in range(4)]
 
     def _step_batch(self, state, actions):
-        c = self.scalar_cls
+        c = self._template
         x, x_dot = state[:, 0], state[:, 1]
         theta, theta_dot = state[:, 2], state[:, 3]
         force = np.where(actions == 1, c.FORCE_MAG, -c.FORCE_MAG)
@@ -211,7 +240,7 @@ class VectorizedCartPole(_StateMatrixEnv):
             | (theta < -c.THETA_THRESHOLD)
             | (theta > c.THETA_THRESHOLD)
         )
-        return next_state, np.ones(len(x)), done
+        return next_state, np.full(len(x), c.REWARD_PER_STEP), done
 
 
 class VectorizedMountainCar(_StateMatrixEnv):
@@ -223,7 +252,7 @@ class VectorizedMountainCar(_StateMatrixEnv):
         return [rng.uniform(-0.6, -0.4), 0.0]
 
     def _step_batch(self, state, actions):
-        c = self.scalar_cls
+        c = self._template
         position, velocity = state[:, 0], state[:, 1]
         # Parenthesised exactly like the scalar `velocity += a + b`:
         # float addition is not associative, and bitwise replay is the
@@ -237,7 +266,7 @@ class VectorizedMountainCar(_StateMatrixEnv):
         velocity = np.where((position <= c.MIN_POSITION) & (velocity < 0), 0.0, velocity)
         next_state = np.stack([position, velocity], axis=1)
         done = position >= c.GOAL_POSITION
-        return next_state, np.full(len(position), -1.0), done
+        return next_state, np.full(len(position), c.REWARD_PER_STEP), done
 
 
 #: Environment ids with a numpy physics port; everything else falls back
@@ -258,8 +287,27 @@ def has_vectorized_env(env_id: str) -> bool:
     return env_id in _BATCHED_REGISTRY
 
 
-def make_batched(env_id: str) -> BatchedEnv:
+def make_batched(
+    env_id: str, factory: Callable[[], Environment] = None
+) -> BatchedEnv:
     """A batched environment for ``env_id``: numpy port if one exists,
-    else the generic per-lane lockstep fallback."""
-    factory = _BATCHED_REGISTRY.get(env_id, LockstepEnvs)
-    return factory(env_id)
+    else the generic per-lane lockstep fallback.
+
+    ``factory`` (optional) builds the scalar environments — the hook for
+    parameterised/wrapped scenario envs.  A vectorized port accepts the
+    factory's env as its template only when it is *exactly* the scalar
+    class the numpy physics replays (parameter overrides ride along via
+    instance attributes); a wrapped or subclassed env raises
+    :class:`BatchedTemplateError` and drops to :class:`LockstepEnvs`,
+    which steps the factory's envs directly and is therefore
+    bit-identical to the scalar path by construction.
+    """
+    vectorized = _BATCHED_REGISTRY.get(env_id)
+    if vectorized is not None:
+        if factory is None:
+            return vectorized(env_id)
+        try:
+            return vectorized(env_id, template=factory())
+        except (BatchedTemplateError, TypeError):
+            pass  # third-party ports without template support also fall back
+    return LockstepEnvs(env_id, factory=factory)

@@ -26,9 +26,21 @@ class CartPoleEnv(Environment):
     POLE_MASS_LENGTH = MASS_POLE * LENGTH
     FORCE_MAG = 10.0
     TAU = 0.02  # seconds between state updates
+    REWARD_PER_STEP = 1.0
 
     X_THRESHOLD = 2.4
     THETA_THRESHOLD = 12 * 2 * math.pi / 360
+
+    TUNABLE_PARAMS = {
+        "gravity": GRAVITY,
+        "masscart": MASS_CART,
+        "masspole": MASS_POLE,
+        "length": LENGTH,
+        "force_mag": FORCE_MAG,
+        "tau": TAU,
+        "x_threshold": X_THRESHOLD,
+        "reward_per_step": REWARD_PER_STEP,
+    }
 
     observation_space = Box(
         low=[-4.8, -np.inf, -0.418, -np.inf],
@@ -38,6 +50,19 @@ class CartPoleEnv(Environment):
     max_episode_steps = 200
     #: Paper (Table I): balance "for 100 consecutive time steps" wins.
     solve_threshold = 100.0
+
+    def _apply_params(self) -> None:
+        p = self.params
+        self.GRAVITY = p["gravity"]
+        self.MASS_CART = p["masscart"]
+        self.MASS_POLE = p["masspole"]
+        self.TOTAL_MASS = self.MASS_CART + self.MASS_POLE
+        self.LENGTH = p["length"]
+        self.POLE_MASS_LENGTH = self.MASS_POLE * self.LENGTH
+        self.FORCE_MAG = p["force_mag"]
+        self.TAU = p["tau"]
+        self.X_THRESHOLD = p["x_threshold"]
+        self.REWARD_PER_STEP = p["reward_per_step"]
 
     def _reset(self) -> np.ndarray:
         self.state = np.array(
@@ -70,5 +95,5 @@ class CartPoleEnv(Environment):
             or theta < -self.THETA_THRESHOLD
             or theta > self.THETA_THRESHOLD
         )
-        reward = 1.0
+        reward = self.REWARD_PER_STEP
         return self.state.copy(), reward, done, {}

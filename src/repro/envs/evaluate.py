@@ -206,19 +206,28 @@ class FitnessEvaluator:
         seed: Optional[int] = 0,
         fitness_transform: Optional[Callable[[float], float]] = None,
         start_generation: int = 0,
+        scenario=None,
     ) -> None:
         self.env_id = env_id
         self.episodes = episodes
         self.max_steps = max_steps
         self.seed = seed
         self.fitness_transform = fitness_transform
+        self.scenario = scenario
         self.totals = EvaluationTotals()
         # Episode seeds derive from the generation index, so a resumed
         # run must restart the counter where the checkpoint left off.
         self._generation = start_generation
 
+    def _make_env(self) -> Environment:
+        if self.scenario is not None:
+            from ..scenarios import build_env  # lazy: avoids a package cycle
+
+            return build_env(self.scenario)
+        return make(self.env_id)
+
     def __call__(self, genomes: List[Genome], config: NEATConfig) -> None:
-        env = make(self.env_id)
+        env = self._make_env()
         for genome in genomes:
             network = FeedForwardNetwork.create(genome, config.genome)
             rewards = []

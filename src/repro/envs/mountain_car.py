@@ -23,6 +23,14 @@ class MountainCarEnv(Environment):
     GOAL_POSITION = 0.5
     FORCE = 0.001
     GRAVITY = 0.0025
+    REWARD_PER_STEP = -1.0
+
+    TUNABLE_PARAMS = {
+        "force": FORCE,
+        "gravity": GRAVITY,
+        "goal_position": GOAL_POSITION,
+        "reward_per_step": REWARD_PER_STEP,
+    }
 
     observation_space = Box(
         low=[MIN_POSITION, -MAX_SPEED], high=[MAX_POSITION, MAX_SPEED]
@@ -31,6 +39,13 @@ class MountainCarEnv(Environment):
     max_episode_steps = 200
     #: Gym's MountainCar-v0 "solved" bar is an average return >= -110.
     solve_threshold = -110.0
+
+    def _apply_params(self) -> None:
+        p = self.params
+        self.FORCE = p["force"]
+        self.GRAVITY = p["gravity"]
+        self.GOAL_POSITION = p["goal_position"]
+        self.REWARD_PER_STEP = p["reward_per_step"]
 
     def _reset(self) -> np.ndarray:
         self.state = np.array(
@@ -48,5 +63,5 @@ class MountainCarEnv(Environment):
             velocity = 0.0
         self.state = np.array([position, velocity], dtype=np.float64)
         done = bool(position >= self.GOAL_POSITION)
-        reward = -1.0
+        reward = self.REWARD_PER_STEP
         return self.state.copy(), reward, done, {}

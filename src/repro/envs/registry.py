@@ -23,6 +23,8 @@ class UnknownEnvironmentError(KeyError):
 
 
 _REGISTRY: Dict[str, Type[Environment]] = {}
+#: normalised key -> the display spelling it was registered under.
+_DISPLAY: Dict[str, str] = {}
 
 
 def _normalise(env_id: str) -> str:
@@ -30,7 +32,18 @@ def _normalise(env_id: str) -> str:
 
 
 def register(env_id: str, cls: Type[Environment]) -> None:
-    _REGISTRY[_normalise(env_id)] = cls
+    key = _normalise(env_id)
+    _REGISTRY[key] = cls
+    _DISPLAY[key] = env_id
+
+
+def unregister(env_id: str) -> None:
+    """Remove a registered environment (mainly for test hygiene)."""
+    key = _normalise(env_id)
+    if key not in _REGISTRY:
+        raise UnknownEnvironmentError(f"unknown environment {env_id!r}")
+    del _REGISTRY[key]
+    _DISPLAY.pop(key, None)
 
 
 def make(env_id: str, seed: Optional[int] = None) -> Environment:
@@ -38,13 +51,23 @@ def make(env_id: str, seed: Optional[int] = None) -> Environment:
     key = _normalise(env_id)
     if key not in _REGISTRY:
         raise UnknownEnvironmentError(
-            f"unknown environment {env_id!r}; known: {sorted(available())}"
+            f"unknown environment {env_id!r}; known: {available()}"
         )
     return _REGISTRY[key](seed=seed)
 
 
 def available() -> List[str]:
-    return sorted(CANONICAL_IDS)
+    """Every registered id: canonical paper spellings first, then extras."""
+    canonical_keys = {_normalise(env_id): env_id for env_id in CANONICAL_IDS}
+    listed = sorted(
+        env_id for key, env_id in canonical_keys.items() if key in _REGISTRY
+    )
+    listed += sorted(
+        display
+        for key, display in _DISPLAY.items()
+        if key not in canonical_keys
+    )
+    return listed
 
 
 #: Canonical ids as the paper spells them (Table I / figure axis labels).

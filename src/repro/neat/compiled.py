@@ -569,6 +569,7 @@ class BatchedEvaluator:
         seed: Optional[int] = 0,
         fitness_transform: Optional[Callable[[float], float]] = None,
         start_generation: int = 0,
+        scenario=None,
     ) -> None:
         from ..envs.evaluate import EvaluationTotals
 
@@ -577,6 +578,7 @@ class BatchedEvaluator:
         self.max_steps = max_steps
         self.seed = seed
         self.fitness_transform = fitness_transform
+        self.scenario = scenario
         self.totals = EvaluationTotals()
         #: Mean levelised depth of the last evaluated generation — the
         #: ``feed_forward_layers`` counts fall out of compilation, so
@@ -587,6 +589,7 @@ class BatchedEvaluator:
         # run must restart the counter where the checkpoint left off.
         self._generation = start_generation
         self._env_batch = None
+        self._scalar_env = None
 
     def _episode_seeds(self, genome: Genome) -> List[int]:
         # The one canonical derivation — parity is load-bearing.
@@ -599,14 +602,24 @@ class BatchedEvaluator:
 
     def __call__(self, genomes: List[Genome], config) -> None:
         if self._env_batch is None:
-            from ..envs.batched import make_batched
+            if self.scenario is not None:
+                # Scenario-aware construction: a perturbed/wrapped env is
+                # rejected by the vectorized template check and runs on
+                # the lockstep fallback; the non-compilable-genome scalar
+                # fallback below must replay the same wrapped env.
+                from ..scenarios import build_batched_env, build_env
 
-            self._env_batch = make_batched(self.env_id)
+                self._env_batch = build_batched_env(self.scenario)
+                self._scalar_env = build_env(self.scenario)
+            else:
+                from ..envs.batched import make_batched
+
+                self._env_batch = make_batched(self.env_id)
         tasks = [(genome, self._episode_seeds(genome)) for genome in genomes]
         plan_info: Dict = {}
         outcomes = evaluate_genomes_batched(
             tasks, config.genome, self._env_batch, max_steps=self.max_steps,
-            plan_info=plan_info,
+            scalar_env=self._scalar_env, plan_info=plan_info,
         )
         depths = plan_info.get("depths")
         self.last_mean_depth = (

@@ -58,6 +58,7 @@ from .report import (
     fitness_table,
     hardware_table,
     load_run,
+    scenario_table,
     summary_table,
 )
 from .runner import (
@@ -91,5 +92,6 @@ __all__ = [
     "load_run",
     "resume_run",
     "run_in_dir",
+    "scenario_table",
     "summary_table",
 ]

@@ -35,6 +35,11 @@ FITNESS_COLUMNS = (
 HARDWARE_COLUMNS = ("env_steps", "inference_macs", "energy_j", "cycles",
                     "runtime_s")
 
+#: The per-generation curriculum columns; present only on scenario runs
+#: (see :mod:`repro.scenarios`).
+SCENARIO_COLUMNS = ("scenario_stage", "scenario_forgetting",
+                    "scenario_recovery")
+
 
 @dataclass
 class RunReport:
@@ -145,6 +150,27 @@ def hardware_table(report: RunReport) -> Tuple[List[str], List[List[Any]]]:
     return headers, rows
 
 
+def scenario_table(report: RunReport) -> Tuple[List[str], List[List[Any]]]:
+    """Per-generation curriculum columns (stage, forgetting, recovery).
+
+    Empty (no rows) for runs recorded without a scenario — callers skip
+    the table entirely in that case.
+    """
+    if not any(m.get("scenario_stage") is not None for m in report.metrics):
+        return [], []
+    headers = ["gen", "stage", "forgetting", "recovery"]
+    rows = [
+        [
+            m["generation"],
+            _fmt(m.get("scenario_stage")),
+            _fmt(m.get("scenario_forgetting")),
+            _fmt(m.get("scenario_recovery")),
+        ]
+        for m in report.metrics
+    ]
+    return headers, rows
+
+
 def summary_table(
     reports: List[RunReport],
 ) -> Tuple[List[str], List[List[Any]]]:
@@ -178,7 +204,7 @@ def export_reports(
     if not reports:
         raise RunError("nothing to export: no run directories loaded")
     columns = list(FITNESS_COLUMNS) + [
-        column for column in HARDWARE_COLUMNS
+        column for column in HARDWARE_COLUMNS + SCENARIO_COLUMNS
         if any(
             m.get(column) is not None
             for report in reports for m in report.metrics

@@ -69,8 +69,13 @@ class RunWriter:
         self.checkpoint_every = checkpoint_every
         self._population: Optional[Population] = None
         self._last_checkpoint_generation: Optional[int] = None
+        self._scenario_stage: Optional[int] = None
 
     def on_generation(self, metrics: GenerationMetrics) -> None:
+        # Remember the stage of the latest row (on_generation fires
+        # before on_state) so the checkpoint records the stage at its
+        # boundary.
+        self._scenario_stage = metrics.scenario_stage
         self.run_dir.append_metrics(metrics.to_dict())
 
     def on_state(self, population: Population) -> None:
@@ -83,7 +88,13 @@ class RunWriter:
 
     def checkpoint(self, population: Population) -> None:
         with obs.span("checkpoint", generation=population.generation):
-            self.run_dir.write_checkpoint(population.to_state())
+            state = population.to_state()
+            if self._scenario_stage is not None:
+                # Recorded for humans inspecting the checkpoint; resume
+                # itself re-derives the stage by replaying the metrics
+                # prefix through the curriculum fold.
+                state["scenario_stage"] = self._scenario_stage
+            self.run_dir.write_checkpoint(state)
             self._last_checkpoint_generation = population.generation
             if population.best_genome is not None:
                 self.run_dir.write_champion(
@@ -256,6 +267,8 @@ def _run_in_locked_dir(
         latest = rd.latest_checkpoint()
         if latest is not None:
             resume_state = rd.load_checkpoint(latest[0])
+            # Annotation only — Population.from_state must not see it.
+            resume_state.pop("scenario_stage", None)
             # Rewind metrics to the checkpoint boundary; the generations
             # past it re-run and re-append identical rows.
             prefix_rows = rd.truncate_metrics(int(resume_state["generation"]))
@@ -291,12 +304,19 @@ def _run_in_locked_dir(
         if on_state is not None:
             on_state(population)
 
+    run_kwargs: Dict[str, Any] = {}
+    if spec.scenario is not None:
+        # Scenario runs replay the curriculum fold over the persisted
+        # rows so a resumed run re-enters the exact stage the
+        # uninterrupted run would be in at this boundary.
+        run_kwargs["resume_metrics"] = prefix_rows
     result = Experiment(spec, **experiment_kwargs).run(
         on_generation=generation_observer,
         on_evaluation=on_evaluation,
         on_state=state_observer,
         resume_state=resume_state,
         should_stop=should_stop,
+        **run_kwargs,
     )
     if prefix_rows:
         prefix = [GenerationMetrics(**row) for row in prefix_rows]

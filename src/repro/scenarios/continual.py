@@ -1,0 +1,44 @@
+"""Continuous-learning reporting: forgetting/recovery across task switches.
+
+The task-switch bench (Section II motivation: agents that keep learning
+as the world changes) records per-generation ``scenario_stage``,
+``scenario_forgetting`` and ``scenario_recovery`` into ``metrics.jsonl``;
+this module turns those rows into the per-switch summary table and the
+CSV artifact the CI scenarios-smoke job uploads.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from .curriculum import switch_report
+
+CSV_COLUMNS = (
+    "generation",
+    "from_stage",
+    "to_stage",
+    "max_forgetting",
+    "recovery_generations",
+)
+
+
+def continual_report(rows: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-switch forgetting/recovery rows (see ``switch_report``)."""
+    return switch_report(rows)
+
+
+def export_continual_csv(
+    rows: Iterable[Dict[str, Any]], path: Union[str, Path]
+) -> List[Dict[str, Any]]:
+    """Write the per-switch summary to ``path``; returns the rows."""
+    report = continual_report(rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=CSV_COLUMNS)
+        writer.writeheader()
+        for row in report:
+            writer.writerow({key: row.get(key) for key in CSV_COLUMNS})
+    return report

@@ -1,0 +1,63 @@
+"""Built-in scenario library.
+
+A small catalogue of ready-made variants over the canonical envs; users
+add their own via :func:`repro.scenarios.register_scenario` or pass spec
+files to ``repro run --scenario``.  Lives in its own module (imported by
+the package ``__init__``) because registration instantiates
+:class:`ScenarioSpec`, which needs the curriculum module fully loaded.
+"""
+
+from __future__ import annotations
+
+from .spec import PerturbationSpec, ScenarioSpec, register_scenario
+
+register_scenario(
+    "cartpole-short-pole",
+    ScenarioSpec(env_id="CartPole-v0", params={"length": 0.25}),
+)
+register_scenario(
+    "cartpole-long-pole",
+    ScenarioSpec(env_id="CartPole-v0", params={"length": 1.0, "masspole": 0.2}),
+)
+register_scenario(
+    "cartpole-windy",
+    ScenarioSpec(
+        env_id="CartPole-v0",
+        perturbations=(
+            PerturbationSpec("observation_noise", {"std": 0.05}),
+            PerturbationSpec("action_dropout", {"prob": 0.05}),
+        ),
+    ),
+)
+register_scenario(
+    "cartpole-jittery",
+    ScenarioSpec(
+        env_id="CartPole-v0",
+        perturbations=(
+            PerturbationSpec(
+                "parameter_jitter",
+                {"scale": 0.1, "params": ("length", "force_mag")},
+            ),
+        ),
+    ),
+)
+register_scenario(
+    "cartpole-pole-curriculum",
+    ScenarioSpec(
+        env_id="CartPole-v0",
+        curriculum={
+            "mode": "adaptive",
+            "advance_threshold": 60.0,
+            "patience": 2,
+            "stages": [
+                {"params": {"length": 0.5}},
+                {"params": {"length": 0.75, "force_mag": 8.0}},
+                {"params": {"length": 1.0, "force_mag": 6.0}},
+            ],
+        },
+    ),
+)
+register_scenario(
+    "mountaincar-weak-engine",
+    ScenarioSpec(env_id="MountainCar-v0", params={"force": 0.0008}),
+)

@@ -1,0 +1,45 @@
+"""Building live environments from scenario specs.
+
+``build_env`` resolves the base env through the registry, applies the
+parameter overrides, then stacks the perturbation wrappers; the result
+speaks the plain :class:`~repro.envs.Environment` protocol, so every
+evaluator path (serial, worker pool, lockstep lanes) runs it unchanged.
+
+``build_batched_env`` hands :func:`repro.envs.make_batched` a scenario
+factory: a params-only scenario still rides the numpy physics port
+(constants come off the configured template instance), while any
+perturbed scenario is rejected by the port's template check and drops to
+the lockstep fallback — which steps factory-built envs and is therefore
+bit-identical to the scalar path by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..envs import Environment, make, make_batched
+from ..envs.batched import BatchedEnv
+from .spec import ScenarioSpec
+from .wrappers import apply_perturbation
+
+
+def build_env(scenario: ScenarioSpec, seed: Optional[int] = None) -> Environment:
+    """A live environment for a (curriculum-free) scenario."""
+    env = make(scenario.env_id, seed=seed)
+    if scenario.params:
+        env.configure(**scenario.params)
+    for position, perturbation in enumerate(scenario.perturbations):
+        env = apply_perturbation(env, perturbation, position)
+    if seed is not None:
+        env.seed(seed)  # re-seed through the wrapper stack
+    return env
+
+
+def env_factory(scenario: ScenarioSpec) -> Callable[[], Environment]:
+    """A zero-argument factory building fresh scenario envs (for lanes)."""
+    return lambda: build_env(scenario)
+
+
+def build_batched_env(scenario: ScenarioSpec) -> BatchedEnv:
+    """A batched environment honouring the scenario (see module docs)."""
+    return make_batched(scenario.env_id, factory=env_factory(scenario))

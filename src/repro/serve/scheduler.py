@@ -168,6 +168,11 @@ class Scheduler:
             "Per-generation latency of running jobs, approximated from "
             "metrics.jsonl growth between scheduler polls.",
         )
+        self._m_scenario_stage = self.metrics.gauge(
+            "repro_scenario_stage",
+            "Current curriculum stage per job, read from the latest "
+            "metrics.jsonl row; only scenario runs emit the column.",
+        )
         # Per running job: an incremental metrics.jsonl cursor plus the
         # monotonic instant of its last observed growth.
         self._tails: Dict[str, JsonlTail] = {}
@@ -221,6 +226,9 @@ class Scheduler:
         per_row = max(0.0, now - mark) / len(rows)
         for _ in rows:
             self._m_generation_seconds.observe(per_row)
+        stage = rows[-1].get("scenario_stage")
+        if stage is not None:
+            self._m_scenario_stage.set(int(stage), job=job_id)
         self._tail_marks[job_id] = now
 
     def _sample_latencies(self) -> None:

@@ -15,7 +15,7 @@ DOCS = REPO / "docs"
 
 REQUIRED_PAGES = [
     "index.md", "architecture.md", "paper-map.md", "platforms.md",
-    "runs.md",
+    "runs.md", "scenarios.md",
     "dse-distributed.md", "serve.md", "observability.md", "cli.md",
 ]
 

@@ -12,6 +12,7 @@ from repro.envs import (
     available,
     make,
     register,
+    unregister,
 )
 
 
@@ -37,7 +38,9 @@ def test_unknown_env_raises():
 
 
 def test_available_lists_canonical():
-    assert set(available()) == set(CANONICAL_IDS)
+    # Canonical spellings lead the listing, in sorted order; any custom
+    # registrations (none here) would follow them.
+    assert available()[: len(CANONICAL_IDS)] == sorted(CANONICAL_IDS)
 
 
 def test_evaluation_suite_is_the_paper_six():
@@ -71,5 +74,19 @@ def test_register_custom_env():
             return [0.5], 1.0, True, {}
 
     register("Tiny-v0", TinyEnv)
-    env = make("Tiny-v0")
-    assert env.reset()[0] == 0.5
+    try:
+        env = make("Tiny-v0")
+        assert env.reset()[0] == 0.5
+        # Custom registrations show up after the canonical suite, under
+        # the spelling they were registered with.
+        assert available() == sorted(CANONICAL_IDS) + ["Tiny-v0"]
+        # ... and in the unknown-environment message.
+        with pytest.raises(UnknownEnvironmentError, match="Tiny-v0"):
+            make("Pong-v0")
+    finally:
+        unregister("Tiny-v0")
+    assert "Tiny-v0" not in available()
+    with pytest.raises(UnknownEnvironmentError):
+        make("Tiny-v0")
+    with pytest.raises(UnknownEnvironmentError):
+        unregister("Tiny-v0")
